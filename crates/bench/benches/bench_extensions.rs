@@ -1,0 +1,71 @@
+//! Extension-experiment benchmarks: the strict sizing bound
+//! (EXT-STRICT), subsidy-program sizing (EXT-SUBSIDY), ISL latency
+//! paths (EXT-LAT), and the scenario transformations — with the same
+//! regression-gating pattern as the per-figure benches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leo_bench::shared_model;
+use leo_capacity::beamspread::Beamspread;
+use leo_demand::{scenario, IspPlan};
+use leo_geomath::LatLng;
+use leo_orbit::gateway::conus_gateways;
+use leo_orbit::isl::{user_gateway_path, IslTopology, PathMode};
+use leo_orbit::WalkerShell;
+use starlink_divide::{strict, subsidy};
+use std::hint::black_box;
+
+fn bench_extensions(c: &mut Criterion) {
+    let model = shared_model();
+
+    c.bench_function("ext/strict_bound_b5", |b| {
+        b.iter(|| black_box(strict::strict_bound(model, Beamspread::new(5).unwrap())))
+    });
+
+    c.bench_function("ext/subsidy_program_table", |b| {
+        b.iter(|| black_box(subsidy::program_table(model)))
+    });
+
+    let topo = IslTopology::plus_grid(WalkerShell::new(550.0, 53.0, 24, 16, 5));
+    let gws = conus_gateways();
+    let user = LatLng::new(47.0, -109.0);
+    c.bench_function("ext/isl_latency_path", |b| {
+        b.iter(|| {
+            black_box(user_gateway_path(
+                &topo,
+                &gws,
+                &user,
+                0.0,
+                PathMode::IslRelay,
+            ))
+        })
+    });
+
+    let mut group = c.benchmark_group("ext/scenario");
+    group.sample_size(10);
+    group.bench_function("terrestrial_buildout", |b| {
+        b.iter(|| black_box(scenario::terrestrial_buildout(&model.dataset, 200)))
+    });
+    group.finish();
+
+    // Regression gates.
+    let s = strict::strict_bound(model, Beamspread::new(5).unwrap());
+    assert!(s.strict_bound >= s.paper_bound);
+    let progs = subsidy::program_table(model);
+    assert!(progs[3].annual_cost_usd > progs[0].annual_cost_usd);
+    let path = user_gateway_path(&topo, &gws, &user, 0.0, PathMode::IslRelay)
+        .expect("Montana is covered");
+    assert!(path.latency_ms < 50.0);
+    let residential = subsidy::size_program(model, IspPlan::starlink_residential());
+    println!(
+        "EXT: strict/paper b=5 = {}/{}; Residential subsidy ${:.1}M/yr for {} locations; \
+         Montana ISL latency {:.1} ms",
+        s.strict_bound,
+        s.paper_bound,
+        residential.annual_cost_usd / 1e6,
+        residential.recipients,
+        path.latency_ms
+    );
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! FIG1: regenerates Figure 1 — the per-cell demand distribution (CDF
+//! and summary statistics) — and measures dataset synthesis and the
+//! statistics pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leo_bench::shared_model;
+use leo_demand::{BroadbandDataset, SynthConfig};
+use starlink_divide::demand_stats;
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    let model = shared_model();
+
+    c.bench_function("fig1/demand_stats", |b| {
+        b.iter(|| black_box(demand_stats::demand_stats(model)))
+    });
+
+    c.bench_function("fig1/cdf_series", |b| {
+        b.iter(|| black_box(demand_stats::cdf_series(model, 400)))
+    });
+
+    let mut group = c.benchmark_group("fig1/dataset_synthesis");
+    group.sample_size(10);
+    group.bench_function("small_scale", |b| {
+        b.iter(|| black_box(BroadbandDataset::generate(&SynthConfig::small())))
+    });
+    group.finish();
+
+    // Regression gate: the headline distribution statistics.
+    let s = demand_stats::demand_stats(model);
+    assert_eq!(s.max, 5998);
+    assert!(s.us_cells > 25_000);
+    println!(
+        "FIG1: {} cells, total {} locations, p90={} p99={} max={}",
+        s.demand_cells, s.total_locations, s.p90, s.p99, s.max
+    );
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

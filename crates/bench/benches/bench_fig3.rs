@@ -1,0 +1,48 @@
+//! FIG3: regenerates Figure 3 — constellation size versus locations
+//! left unserved for the paper's six (beamspread, oversubscription)
+//! configurations — and measures the tail walk.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leo_bench::shared_model;
+use leo_capacity::beamspread::Beamspread;
+use leo_capacity::Oversubscription;
+use starlink_divide::tail;
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let model = shared_model();
+
+    c.bench_function("fig3/six_curve_family", |b| {
+        b.iter(|| black_box(tail::figure3(model, 70_000)))
+    });
+
+    c.bench_function("fig3/single_curve", |b| {
+        b.iter(|| {
+            black_box(tail::tail_curve(
+                model,
+                Oversubscription::FCC_CAP,
+                Beamspread::new(5).unwrap(),
+                70_000,
+            ))
+        })
+    });
+
+    // Regression gate: curves start at Table 2 and F3's first step is
+    // hundreds-to-thousands of satellites.
+    let curves = tail::figure3(model, 70_000);
+    for c in &curves {
+        assert!(c.points.len() >= 2);
+    }
+    let b1 = &curves[0];
+    let step = b1.points[0].constellation - b1.points[1].constellation;
+    assert!((800..2_500).contains(&step), "b=1 first step {step}");
+    println!(
+        "FIG3: b=1 starts at {} satellites; final {} locations cost {} satellites",
+        b1.points[0].constellation,
+        b1.points[1].unserved - b1.points[0].unserved,
+        step
+    );
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

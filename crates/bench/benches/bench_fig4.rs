@@ -1,0 +1,40 @@
+//! FIG4: regenerates Figure 4 — affordability CDFs for the four plans —
+//! and measures the location-weighted evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leo_bench::shared_model;
+use leo_demand::IspPlan;
+use starlink_divide::afford;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let model = shared_model();
+
+    c.bench_function("fig4/four_plan_catalog", |b| {
+        b.iter(|| black_box(afford::figure4(model)))
+    });
+
+    c.bench_function("fig4/single_plan", |b| {
+        b.iter(|| {
+            black_box(afford::affordability(
+                model,
+                IspPlan::starlink_residential(),
+            ))
+        })
+    });
+
+    // Regression gate: F4's fractions.
+    let res = afford::affordability(model, IspPlan::starlink_residential());
+    let frac = res.unaffordable_fraction();
+    assert!((frac - 0.745).abs() < 0.05, "residential fraction {frac}");
+    let cable = afford::affordability(model, IspPlan::spectrum_premier());
+    assert!(cable.unaffordable_fraction() < 1e-3);
+    println!(
+        "FIG4: {:.1}% priced out of Starlink Residential; {:.2}% priced out of cable",
+        100.0 * frac,
+        100.0 * cable.unaffordable_fraction()
+    );
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! EXT-QOE: regenerates the busy-hour service-quality experiment
+//! (oversubscription {5, 10, 20, 35}) and measures the flow-level
+//! simulator's event loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leo_simnet::{busy_hour_experiment, CellSim, SimConfig};
+use std::hint::black_box;
+
+fn bench_qoe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qoe");
+    group.sample_size(10);
+
+    group.bench_function("busy_hour_experiment_4_ratios", |b| {
+        b.iter(|| black_box(busy_hour_experiment(0.5, &[5.0, 10.0, 20.0, 35.0], 7)))
+    });
+
+    group.bench_function("single_cell_35_to_1", |b| {
+        let mut cfg = SimConfig::oversubscribed_cell(0.5, 35.0, 7);
+        cfg.duration_h = 1.0;
+        b.iter(|| black_box(CellSim::new(cfg.clone()).run()))
+    });
+    group.finish();
+
+    // Regression gate: the F1 service-quality narrative.
+    let reports = busy_hour_experiment(0.5, &[20.0, 35.0], 7);
+    assert!(reports[0].full_speed_fraction > 0.8);
+    assert!(reports[1].full_speed_fraction < 0.7);
+    println!(
+        "EXT-QOE: full-speed fraction 20:1 = {:.2}, 35:1 = {:.2}",
+        reports[0].full_speed_fraction, reports[1].full_speed_fraction
+    );
+}
+
+criterion_group!(benches, bench_qoe);
+criterion_main!(benches);

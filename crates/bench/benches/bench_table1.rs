@@ -1,0 +1,53 @@
+//! TAB1: regenerates Table 1 — the single-satellite capacity model and
+//! its derived quantities — and measures the arithmetic. The assertions
+//! double as a regression gate: a capacity-model change that breaks the
+//! paper's published values fails the bench before it misleads anyone.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leo_bench::shared_model;
+use leo_capacity::{
+    required_capacity_gbps, required_oversubscription, Oversubscription, SatelliteCapacityModel,
+};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let model = shared_model();
+    let peak = model.dataset.peak_cell().locations;
+
+    c.bench_function("table1/capacity_model_derivation", |b| {
+        b.iter(|| {
+            let m = SatelliteCapacityModel::starlink();
+            (
+                black_box(m.ut_downlink_mhz()),
+                black_box(m.max_cell_capacity_gbps()),
+                black_box(m.ut_beams()),
+            )
+        })
+    });
+
+    c.bench_function("table1/peak_cell_oversubscription", |b| {
+        let m = SatelliteCapacityModel::starlink();
+        b.iter(|| {
+            let demand = required_capacity_gbps(black_box(peak), Oversubscription::ONE);
+            let rho = required_oversubscription(black_box(peak), m.max_cell_capacity_gbps());
+            black_box((demand, rho))
+        })
+    });
+
+    // Regression gate on the published values.
+    let m = SatelliteCapacityModel::starlink();
+    assert!((m.ut_downlink_mhz() - 3850.0).abs() < 1e-9);
+    assert!((m.max_cell_capacity_gbps() - 17.325).abs() < 1e-9);
+    assert_eq!(peak, 5998);
+    let rho = required_oversubscription(peak, m.max_cell_capacity_gbps());
+    assert!((rho - 34.62).abs() < 0.05);
+    println!(
+        "TAB1: 3850 MHz -> {:.3} Gbps/cell; peak cell {} locations -> {:.1}:1",
+        m.max_cell_capacity_gbps(),
+        peak,
+        rho
+    );
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

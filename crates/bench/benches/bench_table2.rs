@@ -1,0 +1,48 @@
+//! TAB2: regenerates Table 2 — constellation size for beamspread
+//! factors {1, 2, 5, 10, 15} under both deployment scenarios — and
+//! measures the sizing pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leo_bench::shared_model;
+use starlink_divide::sizing;
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let model = shared_model();
+
+    c.bench_function("table2/full_table", |b| {
+        b.iter(|| black_box(sizing::table2(model)))
+    });
+
+    c.bench_function("table2/single_scenario", |b| {
+        b.iter(|| {
+            black_box(sizing::constellation_size(
+                model,
+                leo_capacity::DeploymentPolicy::fcc_capped(),
+                leo_capacity::beamspread::Beamspread::new(2).unwrap(),
+            ))
+        })
+    });
+
+    // Regression gate: paper values within 1%.
+    let rows = sizing::table2(model);
+    let paper = [
+        (79_287u64, 80_567u64),
+        (40_611, 41_261),
+        (16_486, 16_750),
+        (8_284, 8_417),
+        (5_532, 5_621),
+    ];
+    println!("TAB2 (beamspread, full service, 20:1 cap) vs paper:");
+    for (row, &(pf, pc)) in rows.iter().zip(&paper) {
+        println!(
+            "  b={:<3} {:>6} / {:>6}   (paper {:>6} / {:>6})",
+            row.beamspread, row.full_service, row.capped, pf, pc
+        );
+        assert!((row.full_service as f64 - pf as f64).abs() / (pf as f64) < 0.01);
+        assert!((row.capped as f64 - pc as f64).abs() / (pc as f64) < 0.01);
+    }
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

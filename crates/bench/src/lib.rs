@@ -1,0 +1,19 @@
+//! # leo-bench
+//!
+//! Criterion benchmarks that regenerate every table and figure of the
+//! paper (one bench target per artifact — see `benches/`), plus
+//! substrate micro-benchmarks. The crate's library is a thin shared
+//! harness: dataset caching so the benches measure the experiment, not
+//! dataset synthesis.
+
+#![forbid(unsafe_code)]
+
+use starlink_divide::PaperModel;
+use std::sync::OnceLock;
+
+/// A process-wide cached test-scale model (dataset generation takes
+/// seconds; the benches reuse one instance).
+pub fn shared_model() -> &'static PaperModel {
+    static MODEL: OnceLock<PaperModel> = OnceLock::new();
+    MODEL.get_or_init(PaperModel::test_scale)
+}

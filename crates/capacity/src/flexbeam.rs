@@ -1,0 +1,187 @@
+//! Flexible beam allocation between user terminals and gateways.
+//!
+//! Table 1's band plan gives each satellite 8 beams usable **only**
+//! toward user terminals, 16 beams usable toward **either** user
+//! terminals or gateways, and 4 gateway-only beams. The paper notes
+//! that "determining when these beams are used for gateway or UT
+//! traffic adds yet another layer of complexity" and then assumes the
+//! UT-maximal split (all 24 toward UTs). This module models the
+//! trade-off the paper elides:
+//!
+//! In a bent-pipe configuration every bit delivered to a UT must also
+//! transit a satellite↔gateway link. Gateway-only spectrum provides
+//! 5000 MHz × 4.5 b/Hz = 22.5 Gbps of backhaul; if UT demand exceeds
+//! that, flexible beams must be diverted to gateways, shrinking the UT
+//! beam budget below 24 and with it the per-satellite cell budget that
+//! drives constellation sizing. With inter-satellite links (ISLs) the
+//! backhaul can ride the optical mesh instead, keeping all 24 beams on
+//! UTs — quantifying the capacity value of ISLs.
+
+use crate::spectrum::{BandUse, SatelliteCapacityModel};
+
+/// How satellite↔gateway backhaul is carried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackhaulMode {
+    /// Bent pipe: every UT bit consumes gateway downlink on the same
+    /// satellite.
+    BentPipe,
+    /// Inter-satellite links: backhaul rides the optical mesh; gateway
+    /// spectrum on this satellite is not a constraint.
+    IslMesh,
+}
+
+/// The outcome of a flexible-beam split.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BeamSplit {
+    /// Beams serving user terminals (≤ 24).
+    pub ut_beams: u32,
+    /// Flexible beams diverted to gateway duty.
+    pub flex_to_gateway: u32,
+    /// UT capacity actually deliverable, Gbps (limited by both the UT
+    /// beam count and, under bent pipe, the gateway backhaul).
+    pub deliverable_ut_gbps: f64,
+}
+
+/// Computes the best feasible flexible-beam split for a satellite whose
+/// cells demand `ut_demand_gbps` of downlink.
+///
+/// Under [`BackhaulMode::IslMesh`] all 24 UT-capable beams stay on UTs.
+/// Under [`BackhaulMode::BentPipe`], gateway-only spectrum carries
+/// 22.5 Gbps; each flexible beam diverted adds its share of the
+/// flexible spectrum to backhaul but removes it from the UT side. The
+/// split chooses the fewest diversions such that backhaul ≥ deliverable
+/// UT traffic.
+pub fn best_split(
+    model: &SatelliteCapacityModel,
+    mode: BackhaulMode,
+    ut_demand_gbps: f64,
+) -> BeamSplit {
+    assert!(ut_demand_gbps >= 0.0, "negative demand");
+    let ut_only_gbps: f64 = model
+        .bands()
+        .iter()
+        .filter(|b| b.usage == BandUse::UserTerminals)
+        .map(|b| b.width_mhz() * model.spectral_efficiency_bps_hz / 1000.0)
+        .sum();
+    let gw_only_gbps: f64 = model
+        .bands()
+        .iter()
+        .filter(|b| b.usage == BandUse::Gateways)
+        .map(|b| b.width_mhz() * model.spectral_efficiency_bps_hz / 1000.0)
+        .sum();
+    let flex_bands: Vec<_> = model
+        .bands()
+        .iter()
+        .filter(|b| b.usage == BandUse::UserTerminalsOrGateways)
+        .collect();
+    let flex_beams: u32 = flex_bands.iter().map(|b| b.beams).sum();
+    let flex_gbps: f64 = flex_bands
+        .iter()
+        .map(|b| b.width_mhz() * model.spectral_efficiency_bps_hz / 1000.0)
+        .sum();
+    let per_flex_beam_gbps = flex_gbps / flex_beams as f64;
+    let ut_beam_total = model.ut_beams();
+
+    match mode {
+        BackhaulMode::IslMesh => BeamSplit {
+            ut_beams: ut_beam_total,
+            flex_to_gateway: 0,
+            deliverable_ut_gbps: ut_demand_gbps.min(ut_only_gbps + flex_gbps),
+        },
+        BackhaulMode::BentPipe => {
+            // Try diverting k = 0..=flex_beams flexible beams; pick the
+            // smallest k whose backhaul covers the deliverable traffic.
+            let mut best = BeamSplit {
+                ut_beams: ut_beam_total - flex_beams,
+                flex_to_gateway: flex_beams,
+                deliverable_ut_gbps: ut_only_gbps.min(gw_only_gbps + flex_gbps),
+            };
+            for k in 0..=flex_beams {
+                let ut_cap = ut_only_gbps + per_flex_beam_gbps * (flex_beams - k) as f64;
+                let backhaul = gw_only_gbps + per_flex_beam_gbps * k as f64;
+                let deliverable = ut_cap.min(ut_demand_gbps);
+                if backhaul + 1e-9 >= deliverable {
+                    best = BeamSplit {
+                        ut_beams: ut_beam_total - k,
+                        flex_to_gateway: k,
+                        deliverable_ut_gbps: deliverable,
+                    };
+                    break;
+                }
+            }
+            best
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> SatelliteCapacityModel {
+        SatelliteCapacityModel::starlink()
+    }
+
+    #[test]
+    fn isl_keeps_all_beams_on_uts() {
+        let s = best_split(&model(), BackhaulMode::IslMesh, 30.0);
+        assert_eq!(s.ut_beams, 24);
+        assert_eq!(s.flex_to_gateway, 0);
+        assert!((s.deliverable_ut_gbps - 17.325).abs() < 1e-9);
+    }
+
+    #[test]
+    fn light_demand_needs_no_diversion() {
+        // Gateway-only backhaul is 22.5 Gbps, more than the full
+        // 17.325 Gbps UT spectrum — so under Starlink's actual band
+        // plan, bent pipe never needs to divert for a single cell.
+        let s = best_split(&model(), BackhaulMode::BentPipe, 17.325);
+        assert_eq!(s.flex_to_gateway, 0);
+        assert_eq!(s.ut_beams, 24);
+        assert!((s.deliverable_ut_gbps - 17.325).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_cell_demand_forces_diversion_without_gw_spectrum() {
+        // A satellite serving several cells' worth of aggregated demand.
+        let m = model();
+        let demand = 60.0;
+        let s = best_split(&m, BackhaulMode::BentPipe, demand);
+        // Backhaul must cover deliverable traffic.
+        let gw_only = 22.5;
+        let per_flex = (1300.0 * 4.5 / 1000.0) / 12.0; // 800+500 MHz over 12 beams
+        let backhaul = gw_only + per_flex * s.flex_to_gateway as f64;
+        assert!(backhaul + 1e-6 >= s.deliverable_ut_gbps);
+        // And deliverable traffic never exceeds the UT-side spectrum.
+        assert!(s.deliverable_ut_gbps <= 17.325 + 1e-9);
+    }
+
+    #[test]
+    fn diversion_monotone_in_demand() {
+        let m = model();
+        let mut prev = 0;
+        for demand in [5.0, 17.0, 25.0, 40.0, 80.0] {
+            let s = best_split(&m, BackhaulMode::BentPipe, demand);
+            assert!(s.flex_to_gateway >= prev, "demand {demand}");
+            prev = s.flex_to_gateway;
+        }
+    }
+
+    #[test]
+    fn isl_vs_bent_pipe_capacity_gap() {
+        // The headline: with ISLs the satellite delivers the full UT
+        // spectrum regardless of gateway geometry; bent pipe caps
+        // deliverable traffic at gw backhaul when demand is huge.
+        let m = model();
+        let isl = best_split(&m, BackhaulMode::IslMesh, 100.0);
+        let bp = best_split(&m, BackhaulMode::BentPipe, 100.0);
+        assert!(isl.deliverable_ut_gbps >= bp.deliverable_ut_gbps);
+    }
+
+    #[test]
+    fn zero_demand() {
+        let s = best_split(&model(), BackhaulMode::BentPipe, 0.0);
+        assert_eq!(s.flex_to_gateway, 0);
+        assert_eq!(s.deliverable_ut_gbps, 0.0);
+    }
+}

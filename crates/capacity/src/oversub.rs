@@ -1,0 +1,119 @@
+//! Oversubscription arithmetic.
+//!
+//! ISPs sell more aggregate subscriber bandwidth than the network can
+//! deliver simultaneously; the ratio of sold to deliverable bandwidth
+//! is the oversubscription ratio. The paper evaluates Starlink against
+//! the FCC's 20:1 cap for terrestrial unlicensed fixed wireless
+//! (there is no cap for satellite providers) and derives a 35:1
+//! requirement for the single densest US cell.
+
+use crate::BROADBAND_DL_MBPS;
+
+/// An oversubscription ratio (`N:1`), validated to be ≥ 1.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Oversubscription(f64);
+
+impl Oversubscription {
+    /// Creates a ratio; returns `None` if below 1 (an ISP cannot
+    /// deliver more than it sells in this model).
+    pub fn new(ratio: f64) -> Option<Self> {
+        if ratio >= 1.0 && ratio.is_finite() {
+            Some(Oversubscription(ratio))
+        } else {
+            None
+        }
+    }
+
+    /// No oversubscription (1:1).
+    pub const ONE: Oversubscription = Oversubscription(1.0);
+
+    /// The FCC terrestrial fixed-wireless cap, 20:1.
+    pub const FCC_CAP: Oversubscription = Oversubscription(crate::FCC_MAX_OVERSUBSCRIPTION);
+
+    /// The numeric ratio.
+    pub fn ratio(&self) -> f64 {
+        self.0
+    }
+}
+
+/// Downlink capacity (Gbps) that must be provisioned for `locations`
+/// broadband locations at oversubscription `oversub`.
+pub fn required_capacity_gbps(locations: u64, oversub: Oversubscription) -> f64 {
+    locations as f64 * BROADBAND_DL_MBPS / 1000.0 / oversub.ratio()
+}
+
+/// Maximum number of broadband locations servable from `capacity_gbps`
+/// at oversubscription `oversub`.
+pub fn max_locations_servable(capacity_gbps: f64, oversub: Oversubscription) -> u64 {
+    if capacity_gbps <= 0.0 {
+        return 0;
+    }
+    // Epsilon guards the exact-boundary case against float rounding
+    // (e.g. 47.984 Gbps at 12.5:1 is exactly 5998 locations).
+    (capacity_gbps * 1000.0 * oversub.ratio() / BROADBAND_DL_MBPS + 1e-6).floor() as u64
+}
+
+/// The oversubscription ratio required to nominally serve `locations`
+/// from `capacity_gbps` (may be < 1 when capacity is ample; callers
+/// clamp with [`Oversubscription::new`] when a real ratio is needed).
+pub fn required_oversubscription(locations: u64, capacity_gbps: f64) -> f64 {
+    if locations == 0 {
+        return 0.0;
+    }
+    locations as f64 * BROADBAND_DL_MBPS / 1000.0 / capacity_gbps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spectrum::SatelliteCapacityModel;
+
+    #[test]
+    fn ratio_validation() {
+        assert!(Oversubscription::new(0.5).is_none());
+        assert!(Oversubscription::new(f64::NAN).is_none());
+        assert!(Oversubscription::new(f64::INFINITY).is_none());
+        assert_eq!(Oversubscription::new(20.0).unwrap().ratio(), 20.0);
+    }
+
+    #[test]
+    fn paper_peak_cell_demand_is_599_8_gbps() {
+        let demand = required_capacity_gbps(5998, Oversubscription::ONE);
+        assert!((demand - 599.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_peak_cell_needs_35_to_1() {
+        // 5998 locations vs 17.325 Gbps ⇒ ~34.6:1, which the paper
+        // rounds to 35:1.
+        let cap = SatelliteCapacityModel::starlink().max_cell_capacity_gbps();
+        let rho = required_oversubscription(5998, cap);
+        assert!((rho - 34.62).abs() < 0.05, "rho {rho}");
+        assert!(rho < 35.0);
+    }
+
+    #[test]
+    fn fcc_cap_serves_3465_locations_per_cell() {
+        // 17.325 Gbps at 20:1 and 100 Mbps/location.
+        let cap = SatelliteCapacityModel::starlink().max_cell_capacity_gbps();
+        assert_eq!(max_locations_servable(cap, Oversubscription::FCC_CAP), 3465);
+    }
+
+    #[test]
+    fn capacity_and_locations_are_inverse() {
+        let rho = Oversubscription::new(12.5).unwrap();
+        for locs in [1u64, 100, 5998, 123_456] {
+            let cap = required_capacity_gbps(locs, rho);
+            assert!(max_locations_servable(cap, rho) >= locs);
+            // And barely: one less capacity serves fewer.
+            assert!(max_locations_servable(cap * 0.999, rho) < locs);
+        }
+    }
+
+    #[test]
+    fn zero_and_degenerate_inputs() {
+        assert_eq!(required_oversubscription(0, 17.3), 0.0);
+        assert_eq!(max_locations_servable(0.0, Oversubscription::ONE), 0);
+        assert_eq!(max_locations_servable(-1.0, Oversubscription::ONE), 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Uplink capacity — the constraint the paper leaves unexamined.
+//!
+//! "Reliable broadband" requires 20 Mbps *up* as well as 100 Mbps down.
+//! The paper sizes everything from downlink spectrum (3850 MHz toward
+//! UTs); but Starlink's user uplink rides a much thinner allocation —
+//! 500 MHz of Ku (14.0–14.5 GHz) — so it is not obvious the downlink is
+//! the binding direction. This module models the uplink and answers
+//! that question:
+//!
+//! * per-polarization, 500 MHz at ~4.5 b/Hz gives **2.25 Gbps** of
+//!   uplink per cell vs a peak-cell demand of 120 Gbps (5,998 × 20
+//!   Mbps) ⇒ **53:1** — the uplink would bind *harder* than the
+//!   downlink's 35:1;
+//! * with dual-polarization reuse (two orthogonal polarizations in the
+//!   same band, which SpaceX's filings request) the effective spectrum
+//!   doubles to 1000 MHz ⇒ **27:1**, and the downlink binds again.
+//!
+//! The EXT-UL experiment reports both cases; either way, the paper's
+//! qualitative conclusions are unchanged or strengthened.
+
+use crate::oversub::required_oversubscription;
+use crate::spectrum::SatelliteCapacityModel;
+use crate::BROADBAND_UL_MBPS;
+
+/// The user-terminal uplink band, MHz (14.0–14.5 GHz Ku).
+pub const UT_UPLINK_MHZ: f64 = 500.0;
+
+/// Uplink configuration: whether both polarizations reuse the band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolarizationReuse {
+    /// One polarization: 500 MHz effective.
+    Single,
+    /// Dual-polarization frequency reuse: 1000 MHz effective.
+    Dual,
+}
+
+/// The uplink capacity model.
+#[derive(Debug, Clone, Copy)]
+pub struct UplinkModel {
+    /// Effective uplink spectrum toward one cell, MHz.
+    pub spectrum_mhz: f64,
+    /// Spectral efficiency, bps/Hz (uplink PSDs are tighter; we reuse
+    /// the downlink estimate as the optimistic case).
+    pub spectral_efficiency_bps_hz: f64,
+}
+
+impl UplinkModel {
+    /// Builds the Starlink uplink model under a polarization
+    /// assumption, sharing the downlink model's efficiency estimate.
+    pub fn starlink(downlink: &SatelliteCapacityModel, reuse: PolarizationReuse) -> Self {
+        UplinkModel {
+            spectrum_mhz: match reuse {
+                PolarizationReuse::Single => UT_UPLINK_MHZ,
+                PolarizationReuse::Dual => 2.0 * UT_UPLINK_MHZ,
+            },
+            spectral_efficiency_bps_hz: downlink.spectral_efficiency_bps_hz,
+        }
+    }
+
+    /// Maximum uplink capacity per cell, Gbps.
+    pub fn max_cell_capacity_gbps(&self) -> f64 {
+        self.spectrum_mhz * self.spectral_efficiency_bps_hz / 1000.0
+    }
+
+    /// Uplink oversubscription required for a cell with `locations`
+    /// un(der)served locations at the 20 Mbps requirement.
+    pub fn required_oversubscription(&self, locations: u64) -> f64 {
+        required_oversubscription(locations, self.max_cell_capacity_gbps())
+            * (BROADBAND_UL_MBPS / crate::BROADBAND_DL_MBPS)
+    }
+
+    /// Maximum locations servable at ratio `rho`.
+    pub fn max_locations_servable(&self, rho: f64) -> u64 {
+        if rho <= 0.0 {
+            return 0;
+        }
+        (self.max_cell_capacity_gbps() * 1000.0 * rho / BROADBAND_UL_MBPS + 1e-6).floor() as u64
+    }
+}
+
+/// Which direction binds a cell: the one needing the higher
+/// oversubscription ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BindingDirection {
+    /// Downlink requires the higher ratio.
+    Downlink,
+    /// Uplink requires the higher ratio.
+    Uplink,
+}
+
+/// Determines the binding direction for a cell of `locations` under the
+/// given downlink and uplink models.
+pub fn binding_direction(
+    downlink: &SatelliteCapacityModel,
+    uplink: &UplinkModel,
+    locations: u64,
+) -> BindingDirection {
+    let dl = required_oversubscription(locations, downlink.max_cell_capacity_gbps());
+    let ul = uplink.required_oversubscription(locations);
+    if ul > dl {
+        BindingDirection::Uplink
+    } else {
+        BindingDirection::Downlink
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dl() -> SatelliteCapacityModel {
+        SatelliteCapacityModel::starlink()
+    }
+
+    #[test]
+    fn single_polarization_capacity() {
+        let ul = UplinkModel::starlink(&dl(), PolarizationReuse::Single);
+        assert!((ul.max_cell_capacity_gbps() - 2.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_cell_uplink_oversubscription() {
+        // 5,998 × 20 Mbps = 120 Gbps over 2.25 Gbps ⇒ ~53:1.
+        let ul = UplinkModel::starlink(&dl(), PolarizationReuse::Single);
+        let rho = ul.required_oversubscription(5998);
+        assert!((rho - 53.3).abs() < 0.2, "rho {rho}");
+    }
+
+    #[test]
+    fn uplink_binds_without_polarization_reuse() {
+        let m = dl();
+        let ul = UplinkModel::starlink(&m, PolarizationReuse::Single);
+        assert_eq!(binding_direction(&m, &ul, 5998), BindingDirection::Uplink);
+        // It binds at every cell size: the capacity ratio (2.25/17.325)
+        // is below the demand ratio (20/100).
+        for locs in [10u64, 500, 3465] {
+            assert_eq!(binding_direction(&m, &ul, locs), BindingDirection::Uplink);
+        }
+    }
+
+    #[test]
+    fn downlink_binds_with_dual_polarization() {
+        let m = dl();
+        let ul = UplinkModel::starlink(&m, PolarizationReuse::Dual);
+        assert_eq!(binding_direction(&m, &ul, 5998), BindingDirection::Downlink);
+        let rho = ul.required_oversubscription(5998);
+        assert!((rho - 26.7).abs() < 0.2, "rho {rho}");
+    }
+
+    #[test]
+    fn servable_locations_at_the_fcc_cap() {
+        let ul = UplinkModel::starlink(&dl(), PolarizationReuse::Single);
+        // 2.25 Gbps × 20 / 20 Mbps = 2,250 locations — fewer than the
+        // downlink's 3,465: the uplink cap is the tighter one.
+        assert_eq!(ul.max_locations_servable(20.0), 2_250);
+        let dual = UplinkModel::starlink(&dl(), PolarizationReuse::Dual);
+        assert_eq!(dual.max_locations_servable(20.0), 4_500);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let ul = UplinkModel::starlink(&dl(), PolarizationReuse::Single);
+        assert_eq!(ul.max_locations_servable(0.0), 0);
+        assert_eq!(ul.required_oversubscription(0), 0.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Figure 4 / Finding 4: affordability of service plans for
+//! un(der)served locations.
+//!
+//! The paper assumes every location in a county has the county's median
+//! household income and applies the A4AI/UN "1 for 2" rule: service is
+//! affordable if it costs at most 2 % of monthly income. For each plan,
+//! the CDF of `monthly price / monthly income` over locations shows how
+//! many locations are priced out.
+
+use crate::PaperModel;
+use leo_demand::{IspPlan, AFFORDABILITY_THRESHOLD};
+
+/// Affordability outcome for one plan.
+#[derive(Debug, Clone)]
+pub struct Affordability {
+    /// The plan evaluated.
+    pub plan: IspPlan,
+    /// Locations for which the plan exceeds 2 % of monthly income.
+    pub unaffordable_locations: u64,
+    /// Total locations evaluated.
+    pub total_locations: u64,
+    /// CDF over locations of the income proportion:
+    /// `(proportion, cumulative locations)` sorted by proportion.
+    pub cdf: Vec<(f64, u64)>,
+}
+
+impl Affordability {
+    /// Fraction of locations priced out.
+    pub fn unaffordable_fraction(&self) -> f64 {
+        if self.total_locations == 0 {
+            0.0
+        } else {
+            self.unaffordable_locations as f64 / self.total_locations as f64
+        }
+    }
+}
+
+/// Evaluates one plan over the dataset.
+pub fn affordability(model: &PaperModel, plan: IspPlan) -> Affordability {
+    // County-level evaluation: every location inherits its county's
+    // median income, exactly as in the paper.
+    let mut buckets: Vec<(f64, u64)> = model
+        .dataset
+        .counties
+        .iter()
+        .filter(|c| c.locations > 0)
+        .map(|c| (plan.income_proportion(c.median_income_usd), c.locations))
+        .collect();
+    buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let total_locations: u64 = buckets.iter().map(|b| b.1).sum();
+    let unaffordable_locations = buckets
+        .iter()
+        .filter(|(p, _)| *p > AFFORDABILITY_THRESHOLD)
+        .map(|(_, w)| w)
+        .sum();
+    let mut cum = 0u64;
+    let cdf = buckets
+        .into_iter()
+        .map(|(p, w)| {
+            cum += w;
+            (p, cum)
+        })
+        .collect();
+    Affordability {
+        plan,
+        unaffordable_locations,
+        total_locations,
+        cdf,
+    }
+}
+
+/// Evaluates the paper's four Figure 4 plans.
+pub fn figure4(model: &PaperModel) -> Vec<Affordability> {
+    IspPlan::figure4_catalog()
+        .into_iter()
+        .map(|plan| affordability(model, plan))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> &'static PaperModel {
+        crate::testutil::model()
+    }
+
+    #[test]
+    fn f4_residential_fraction_matches_paper() {
+        // Paper: 3.5M of 4.7M (74.5%) cannot afford $120/mo.
+        let a = affordability(&model(), IspPlan::starlink_residential());
+        let f = a.unaffordable_fraction();
+        assert!((f - 0.745).abs() < 0.05, "fraction {f}");
+    }
+
+    #[test]
+    fn f4_lifeline_fraction_matches_paper() {
+        // Paper: ~3.0M of 4.67M (~64%) even with Lifeline.
+        let a = affordability(&model(), IspPlan::starlink_with_lifeline());
+        let f = a.unaffordable_fraction();
+        assert!((f - 0.642).abs() < 0.05, "fraction {f}");
+    }
+
+    #[test]
+    fn f4_cable_plans_affordable_almost_everywhere() {
+        for plan in [IspPlan::xfinity_300(), IspPlan::spectrum_premier()] {
+            let a = affordability(&model(), plan.clone());
+            assert!(
+                a.unaffordable_fraction() < 1e-3,
+                "{}: {}",
+                plan.name,
+                a.unaffordable_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn lifeline_strictly_helps() {
+        let m = model();
+        let without = affordability(&m, IspPlan::starlink_residential());
+        let with = affordability(&m, IspPlan::starlink_with_lifeline());
+        assert!(with.unaffordable_locations < without.unaffordable_locations);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_complete() {
+        let a = affordability(&model(), IspPlan::starlink_residential());
+        assert!(!a.cdf.is_empty());
+        for w in a.cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(a.cdf.last().unwrap().1, a.total_locations);
+    }
+
+    #[test]
+    fn figure4_is_ordered_by_price_and_hardship() {
+        let f4 = figure4(&model());
+        assert_eq!(f4.len(), 4);
+        for w in f4.windows(2) {
+            assert!(w[0].plan.monthly_usd <= w[1].plan.monthly_usd);
+            assert!(w[0].unaffordable_locations <= w[1].unaffordable_locations);
+        }
+    }
+
+    #[test]
+    fn totals_match_dataset() {
+        let m = model();
+        let a = affordability(&m, IspPlan::starlink_residential());
+        assert_eq!(a.total_locations, m.dataset.total_locations);
+    }
+}

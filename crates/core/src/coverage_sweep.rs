@@ -1,0 +1,149 @@
+//! Figure 2: fraction of US demand cells served across the
+//! (beamspread, oversubscription) plane.
+//!
+//! A cell is served at `(b, ρ)` iff its location count fits within the
+//! spread cell capacity `17.325/b` Gbps at ratio `ρ` (DESIGN.md §4).
+//! The fraction served is a pure function of the demand CDF, so the
+//! sweep evaluates each grid point with one binary search over the
+//! sorted counts.
+
+use crate::PaperModel;
+use leo_capacity::beamspread::{spread_cell_capacity_gbps, Beamspread};
+use leo_capacity::oversub::{max_locations_servable, Oversubscription};
+
+/// The Fig 2 heatmap: `fraction[bi][ri]` is the fraction of demand
+/// cells served at `beamspreads[bi]` and `oversubs[ri]`.
+#[derive(Debug, Clone)]
+pub struct CoverageSweep {
+    /// Beamspread axis values.
+    pub beamspreads: Vec<u32>,
+    /// Oversubscription axis values.
+    pub oversubs: Vec<u32>,
+    /// Served fraction per (beamspread, oversub) grid point.
+    pub fraction: Vec<Vec<f64>>,
+}
+
+/// Fraction of demand cells served at one `(spread, oversub)` point.
+pub fn fraction_served(
+    model: &PaperModel,
+    sorted_counts: &[u64],
+    oversub: Oversubscription,
+    spread: Beamspread,
+) -> f64 {
+    if sorted_counts.is_empty() {
+        return 1.0;
+    }
+    let cap = spread_cell_capacity_gbps(&model.capacity, spread);
+    let limit = max_locations_servable(cap, oversub);
+    let served = sorted_counts.partition_point(|&c| c <= limit);
+    served as f64 / sorted_counts.len() as f64
+}
+
+/// Runs the Fig 2 sweep over the paper's axes (beamspread 1–15,
+/// oversubscription 1–30).
+pub fn sweep(model: &PaperModel) -> CoverageSweep {
+    sweep_over(model, (1..=15).collect(), (1..=30).collect())
+}
+
+/// Runs the sweep over explicit axes.
+pub fn sweep_over(model: &PaperModel, beamspreads: Vec<u32>, oversubs: Vec<u32>) -> CoverageSweep {
+    let counts = model.dataset.sorted_counts();
+    let fraction = beamspreads
+        .iter()
+        .map(|&b| {
+            let spread = Beamspread::new(b).expect("beamspread axis value must be >= 1");
+            oversubs
+                .iter()
+                .map(|&r| {
+                    let rho = Oversubscription::new(r as f64)
+                        .expect("oversubscription axis value must be >= 1");
+                    fraction_served(model, &counts, rho, spread)
+                })
+                .collect()
+        })
+        .collect();
+    CoverageSweep {
+        beamspreads,
+        oversubs,
+        fraction,
+    }
+}
+
+impl CoverageSweep {
+    /// Served fraction at given axis values, if present.
+    pub fn at(&self, beamspread: u32, oversub: u32) -> Option<f64> {
+        let bi = self.beamspreads.iter().position(|&b| b == beamspread)?;
+        let ri = self.oversubs.iter().position(|&r| r == oversub)?;
+        Some(self.fraction[bi][ri])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> &'static PaperModel {
+        crate::testutil::model()
+    }
+
+    #[test]
+    fn fig2_corners_match_paper_shape() {
+        // Paper Fig 2 colorbar spans ~0.36 (bottom-left, high spread /
+        // low oversub) to ~0.99 (top-right).
+        let s = sweep(&model());
+        let bottom_left = s.at(14, 5).unwrap();
+        assert!((bottom_left - 0.36).abs() < 0.05, "bl {bottom_left}");
+        // At test scale the six anchors weigh ~1.5% of the ~400 demand
+        // cells; at paper scale the corner reaches ≈0.999.
+        let top_right = s.at(2, 30).unwrap();
+        assert!(top_right > 0.97, "tr {top_right}");
+    }
+
+    #[test]
+    fn fraction_is_monotone_in_both_axes() {
+        let s = sweep(&model());
+        for bi in 0..s.beamspreads.len() {
+            for ri in 1..s.oversubs.len() {
+                assert!(s.fraction[bi][ri] >= s.fraction[bi][ri - 1]);
+            }
+        }
+        for ri in 0..s.oversubs.len() {
+            for bi in 1..s.beamspreads.len() {
+                assert!(s.fraction[bi][ri] <= s.fraction[bi - 1][ri]);
+            }
+        }
+    }
+
+    #[test]
+    fn unspread_at_cap_serves_all_but_over_cap_cells() {
+        let m = model();
+        let counts = m.dataset.sorted_counts();
+        let f = fraction_served(
+            &m,
+            &counts,
+            Oversubscription::FCC_CAP,
+            Beamspread::ONE,
+        );
+        // Exactly the 5 over-cap anchor cells are unserved.
+        let expect = 1.0 - 5.0 / counts.len() as f64;
+        assert!((f - expect).abs() < 1e-9, "f {f} expect {expect}");
+    }
+
+    #[test]
+    fn at_handles_missing_axis_values() {
+        let s = sweep(&model());
+        assert!(s.at(99, 5).is_none());
+        assert!(s.at(5, 99).is_none());
+        assert!(s.at(5, 20).is_some());
+    }
+
+    #[test]
+    fn full_capacity_no_oversub_serves_small_cells_only() {
+        let m = model();
+        let counts = m.dataset.sorted_counts();
+        let f = fraction_served(&m, &counts, Oversubscription::ONE, Beamspread::ONE);
+        // 17.325 Gbps at 1:1 = 173 locations; from the calibrated curve
+        // F(173) ≈ 0.36 + (log(173/61)/log(552/61))·0.54 ≈ 0.61.
+        assert!((0.45..0.75).contains(&f), "f {f}");
+    }
+}

@@ -1,0 +1,96 @@
+//! # starlink-divide
+//!
+//! The paper's analytical model: capacity and affordability limits of
+//! LEO access networks, composed from the substrate crates.
+//!
+//! *"Anyone, Anywhere, not Everyone, Everywhere: Starlink Doesn't End
+//! the Digital Divide"* (HotNets 2025) argues that
+//!
+//! 1. the capacity of a LEO access network is driven by **peak demand
+//!    density** — the single service cell with the most un(der)served
+//!    locations ([`demand_stats`], Fig 1);
+//! 2. Starlink's spectrum supports that peak cell only at a **35:1
+//!    oversubscription** ratio, or must shed 0.11 % of locations at the
+//!    FCC's 20:1 benchmark ([`findings`] F1, Table 1);
+//! 3. covering every US cell within acceptable oversubscription
+//!    requires **> 40,000 satellites** ([`sizing`] Table 2, and the
+//!    [`coverage_sweep`] of Fig 2);
+//! 4. the long tail of cell density yields **diminishing returns** —
+//!    thousands of marginal satellites for the last few thousand
+//!    locations ([`tail`], Fig 3);
+//! 5. independent of capacity, **74.5 % of un(der)served locations
+//!    cannot afford** Starlink's Residential plan under the 2 % income
+//!    rule ([`afford`], Fig 4).
+//!
+//! The entry point is [`PaperModel`], which owns a demand dataset and a
+//! capacity model and exposes one method per table/figure/finding.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod afford;
+pub mod cost;
+pub mod coverage_sweep;
+pub mod demand_stats;
+pub mod deployment;
+pub mod findings;
+pub mod sensitivity;
+pub mod sizing;
+pub mod strict;
+pub mod subsidy;
+pub mod tail;
+
+use leo_capacity::SatelliteCapacityModel;
+use leo_demand::{BroadbandDataset, SynthConfig};
+
+/// Inclination (degrees) of the Walker shells assumed by the sizing
+/// model — Starlink's workhorse 53° shells, which dominate capacity
+/// over the continental US.
+pub const SIZING_INCLINATION_DEG: f64 = 53.0;
+
+/// Approximate size of the Starlink constellation the paper calls
+/// "current" (≈8,000 satellites).
+pub const CURRENT_CONSTELLATION_SIZE: u64 = 8_000;
+
+/// The paper's model: a demand dataset plus the satellite capacity
+/// model, with one method per evaluation artifact.
+#[derive(Debug)]
+pub struct PaperModel {
+    /// The (synthetic) national broadband dataset.
+    pub dataset: BroadbandDataset,
+    /// The single-satellite capacity model (Table 1).
+    pub capacity: SatelliteCapacityModel,
+}
+
+impl PaperModel {
+    /// Builds the model over an existing dataset.
+    pub fn new(dataset: BroadbandDataset) -> Self {
+        PaperModel {
+            dataset,
+            capacity: SatelliteCapacityModel::starlink(),
+        }
+    }
+
+    /// Builds the model at full paper scale (slow: ~seconds).
+    pub fn paper_scale() -> Self {
+        Self::new(BroadbandDataset::generate(&SynthConfig::paper()))
+    }
+
+    /// Builds the model at reduced test scale.
+    pub fn test_scale() -> Self {
+        Self::new(BroadbandDataset::generate(&SynthConfig::small()))
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared test fixture: building even the reduced dataset costs
+    //! ~2 s (CONUS polyfill + county Voronoi); the unit tests share one.
+    use super::PaperModel;
+    use std::sync::OnceLock;
+
+    pub fn model() -> &'static PaperModel {
+        static MODEL: OnceLock<PaperModel> = OnceLock::new();
+        MODEL.get_or_init(PaperModel::test_scale)
+    }
+}

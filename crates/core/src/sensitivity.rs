@@ -1,0 +1,246 @@
+//! Sensitivity analyses (ablations) over the model's assumed constants.
+//!
+//! The paper fixes several numbers an operator or regulator could
+//! contest: the ~4.5 b/Hz spectral-efficiency estimate, the H3-res-5
+//! cell size, and the 2 % affordability rule. Each function below
+//! sweeps one of them while holding everything else fixed, exposing
+//! how robust the findings are (DESIGN.md's ablation requirement).
+
+use crate::{afford, sizing, PaperModel};
+use leo_capacity::beamspread::Beamspread;
+use leo_capacity::oversub::{
+    max_locations_servable, required_oversubscription, Oversubscription,
+};
+use leo_capacity::SatelliteCapacityModel;
+use leo_demand::IspPlan;
+use leo_orbit::constellation_size_for_density;
+
+/// One row of the spectral-efficiency ablation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EfficiencyRow {
+    /// Spectral efficiency, bps/Hz.
+    pub bps_hz: f64,
+    /// Resulting max per-cell capacity, Gbps.
+    pub cell_capacity_gbps: f64,
+    /// Oversubscription the peak cell needs.
+    pub peak_oversub: f64,
+    /// Locations shed at the FCC 20:1 cap.
+    pub unserved_at_cap: u64,
+    /// Constellation size at beamspread 2 under the 20:1 cap.
+    pub b2_capped: u64,
+}
+
+/// Sweeps the spectral-efficiency estimate. The paper uses ~4.5 b/Hz;
+/// published estimates range roughly 3–5.5 depending on modulation and
+/// weather margin.
+pub fn efficiency_sweep(model: &PaperModel, efficiencies: &[f64]) -> Vec<EfficiencyRow> {
+    efficiencies
+        .iter()
+        .map(|&eff| {
+            let mut cap = SatelliteCapacityModel::starlink();
+            cap.spectral_efficiency_bps_hz = eff;
+            let cell_cap = cap.max_cell_capacity_gbps();
+            let peak = model.dataset.peak_cell();
+            let limit = max_locations_servable(cell_cap, Oversubscription::FCC_CAP);
+            let unserved: u64 = model
+                .dataset
+                .cells
+                .iter()
+                .map(|c| c.locations.saturating_sub(limit))
+                .sum();
+            // Re-derive the sizing with the altered beam math: the
+            // capped binding cell is the largest fully-servable one.
+            let ablated = PaperModelView {
+                model,
+                capacity: &cap,
+            };
+            EfficiencyRow {
+                bps_hz: eff,
+                cell_capacity_gbps: cell_cap,
+                peak_oversub: required_oversubscription(peak.locations, cell_cap),
+                unserved_at_cap: unserved,
+                b2_capped: ablated.capped_size(Beamspread::new(2).expect("nonzero")),
+            }
+        })
+        .collect()
+}
+
+/// A temporary view substituting an ablated capacity model.
+struct PaperModelView<'a> {
+    model: &'a PaperModel,
+    capacity: &'a SatelliteCapacityModel,
+}
+
+impl PaperModelView<'_> {
+    fn capped_size(&self, spread: Beamspread) -> u64 {
+        let limit = max_locations_servable(
+            self.capacity.max_cell_capacity_gbps(),
+            Oversubscription::FCC_CAP,
+        );
+        let peak = self
+            .model
+            .dataset
+            .peak_cell_at_most(limit)
+            .unwrap_or_else(|| self.model.dataset.peak_cell());
+        let beams = leo_capacity::beamspread::beams_required(
+            self.capacity,
+            peak.locations.min(limit),
+            Oversubscription::FCC_CAP,
+        )
+        .unwrap_or(self.capacity.beams_per_full_cell);
+        let cells =
+            leo_capacity::beamspread::cells_per_satellite(self.capacity, beams, spread);
+        let density =
+            1.0 / (cells as f64 * leo_hexgrid::STARLINK_CELL_AREA_KM2);
+        constellation_size_for_density(
+            density,
+            peak.center.lat_deg(),
+            crate::SIZING_INCLINATION_DEG,
+        )
+        .map(|n| n.ceil() as u64)
+        .unwrap_or(0)
+    }
+}
+
+/// One row of the cell-size ablation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellSizeRow {
+    /// Grid resolution evaluated.
+    pub resolution: u8,
+    /// Cell area, km².
+    pub cell_area_km2: f64,
+    /// Constellation size at beamspread 2 (20:1 cap), holding the
+    /// demand distribution fixed.
+    pub b2_capped: u64,
+}
+
+/// Sweeps the service-cell resolution around the paper's res-5 choice.
+///
+/// A coarser grid (res 4, 7× area) packs 7× the demand into the peak
+/// cell but each satellite cell-slot covers 7× the ground; the sizing
+/// bound scales inversely with cell area, so coarser cells *reduce*
+/// the satellite count while worsening per-cell oversubscription.
+pub fn cell_size_sweep(model: &PaperModel, resolutions: &[u8]) -> Vec<CellSizeRow> {
+    resolutions
+        .iter()
+        .map(|&res| {
+            let area = model.dataset.grid.cell_area_km2(res);
+            let peak = sizing::binding_cell(model, leo_capacity::DeploymentPolicy::fcc_capped());
+            let cells = leo_capacity::beamspread::cells_per_satellite(
+                &model.capacity,
+                model.capacity.beams_per_full_cell,
+                Beamspread::new(2).expect("nonzero"),
+            );
+            let density = 1.0 / (cells as f64 * area);
+            let n = constellation_size_for_density(
+                density,
+                peak.center.lat_deg(),
+                crate::SIZING_INCLINATION_DEG,
+            )
+            .map(|v| v.ceil() as u64)
+            .unwrap_or(0);
+            CellSizeRow {
+                resolution: res,
+                cell_area_km2: area,
+                b2_capped: n,
+            }
+        })
+        .collect()
+}
+
+/// One row of the affordability-threshold ablation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdRow {
+    /// Income share threshold (the paper's rule is 0.02).
+    pub threshold: f64,
+    /// Locations priced out of Starlink Residential at this threshold.
+    pub unaffordable: u64,
+    /// As a fraction of all locations.
+    pub fraction: f64,
+}
+
+/// Sweeps the affordability threshold around the A4AI 2 % rule.
+pub fn threshold_sweep(model: &PaperModel, thresholds: &[f64]) -> Vec<ThresholdRow> {
+    let plan = IspPlan::starlink_residential();
+    let result = afford::affordability(model, plan.clone());
+    thresholds
+        .iter()
+        .map(|&th| {
+            let unaffordable: u64 = result
+                .cdf
+                .iter()
+                .rev()
+                .find(|(p, _)| *p <= th)
+                .map(|&(_, cum)| result.total_locations - cum)
+                .unwrap_or(result.total_locations);
+            ThresholdRow {
+                threshold: th,
+                unaffordable,
+                fraction: unaffordable as f64 / result.total_locations as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> &'static PaperModel {
+        crate::testutil::model()
+    }
+
+    #[test]
+    fn efficiency_sweep_monotone() {
+        let rows = efficiency_sweep(&model(), &[3.5, 4.0, 4.5, 5.0, 5.5]);
+        assert_eq!(rows.len(), 5);
+        for w in rows.windows(2) {
+            assert!(w[1].cell_capacity_gbps > w[0].cell_capacity_gbps);
+            assert!(w[1].peak_oversub < w[0].peak_oversub);
+            assert!(w[1].unserved_at_cap <= w[0].unserved_at_cap);
+        }
+        // At 4.5 the paper's numbers reproduce.
+        let base = rows[2];
+        assert!((base.cell_capacity_gbps - 17.325).abs() < 1e-9);
+        assert_eq!(base.unserved_at_cap, 5_103);
+    }
+
+    #[test]
+    fn lower_efficiency_worsens_everything() {
+        let rows = efficiency_sweep(&model(), &[3.0, 4.5]);
+        assert!(rows[0].peak_oversub > 50.0, "{}", rows[0].peak_oversub);
+        assert!(rows[0].unserved_at_cap > rows[1].unserved_at_cap);
+    }
+
+    #[test]
+    fn cell_size_sweep_scales_inversely() {
+        let rows = cell_size_sweep(&model(), &[4, 5, 6]);
+        // Res 4 cells are 7x larger ⇒ ~7x fewer satellites than res 6
+        // differs by 49x.
+        let rel = (rows[0].b2_capped as f64 * 7.0 - rows[1].b2_capped as f64).abs()
+            / (rows[1].b2_capped as f64);
+        assert!(rel < 0.01, "rel {rel}");
+        assert!(rows[2].b2_capped > rows[1].b2_capped);
+        // Res 5 matches Table 2.
+        let t2 = sizing::constellation_size(
+            &model(),
+            leo_capacity::DeploymentPolicy::fcc_capped(),
+            Beamspread::new(2).unwrap(),
+        );
+        assert_eq!(rows[1].b2_capped, t2);
+    }
+
+    #[test]
+    fn threshold_sweep_monotone_and_anchored() {
+        let m = model();
+        let rows = threshold_sweep(&m, &[0.01, 0.02, 0.03, 0.05]);
+        for w in rows.windows(2) {
+            assert!(w[1].unaffordable <= w[0].unaffordable);
+        }
+        // The 2% row matches F4.
+        let f4 = crate::findings::finding4(&m);
+        assert_eq!(rows[1].unaffordable, f4.unaffordable_residential);
+        // At 5% nearly everyone can afford it ($120·12/0.05 = $28.8k).
+        assert!(rows[3].fraction < 0.05, "{}", rows[3].fraction);
+    }
+}

@@ -1,0 +1,196 @@
+//! Synthetic counties: seats, Voronoi-by-seat geography, incomes.
+//!
+//! The US has ~3,100 counties; the paper assigns every location the
+//! median household income of its county. We generate county **seats**
+//! by seeded rejection sampling inside the CONUS polygon and define a
+//! county as the Voronoi region of its seat — every demand cell joins
+//! the county whose seat is nearest to the cell center. County median
+//! incomes come from the location-weighted calibration in
+//! [`crate::income`], ordered by remoteness so rural counties skew
+//! poor, as in the Census data the paper uses.
+
+use crate::geography;
+use leo_geomath::{GeoPolygon, GridIndex, LatLng};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic county.
+#[derive(Debug, Clone)]
+pub struct County {
+    /// Index into the dataset's county table.
+    pub id: u32,
+    /// The county seat (Voronoi site).
+    pub seat: LatLng,
+    /// Median annual household income, USD.
+    pub median_income_usd: f64,
+    /// Total un(der)served locations in the county.
+    pub locations: u64,
+    /// Distance from the seat to the nearest metro anchor, km.
+    pub remoteness_km: f64,
+}
+
+/// Generates `n` county seats uniformly inside `poly` (seeded rejection
+/// sampling from the polygon's bounding box).
+pub fn generate_seats(seed: u64, n: usize, poly: &GeoPolygon) -> Vec<LatLng> {
+    let bbox = *poly.bbox();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    // Rejection sampling: CONUS fills ~55% of its bbox, so this
+    // terminates quickly; the attempt cap guards degenerate polygons.
+    let mut attempts = 0usize;
+    while out.len() < n && attempts < n * 1000 {
+        attempts += 1;
+        let p = LatLng::new(
+            rng.gen_range(bbox.lat_min..bbox.lat_max),
+            rng.gen_range(bbox.lng_min..bbox.lng_max),
+        );
+        if poly.contains(&p) {
+            out.push(p);
+        }
+    }
+    assert_eq!(out.len(), n, "rejection sampling failed to fill {n} seats");
+    out
+}
+
+/// Nearest-seat lookup structure (the Voronoi assignment).
+#[derive(Debug)]
+pub struct SeatIndex {
+    index: GridIndex,
+    seats: Vec<LatLng>,
+}
+
+impl SeatIndex {
+    /// Builds the lookup over `seats`.
+    pub fn new(seats: Vec<LatLng>) -> Self {
+        let mut index = GridIndex::new(1.0);
+        for (i, s) in seats.iter().enumerate() {
+            index.insert(*s, i);
+        }
+        SeatIndex { index, seats }
+    }
+
+    /// The id of the seat nearest to `p`.
+    ///
+    /// Expanding-radius search: with ~3,100 seats over CONUS the mean
+    /// seat spacing is ~50 km, so the first ring nearly always hits.
+    pub fn nearest(&self, p: &LatLng) -> u32 {
+        let mut best: Option<(f64, usize)> = None;
+        for radius in [80.0, 160.0, 320.0, 640.0, 1280.0, 2560.0, 5120.0] {
+            self.index.for_each_within(p, radius, |seat, id| {
+                let d = leo_geomath::great_circle_distance_km(p, seat);
+                if best.is_none() || d < best.unwrap().0 {
+                    best = Some((d, id));
+                }
+            });
+            // A hit is only conclusive if it's closer than the scanned
+            // radius (a nearer seat could lie just outside otherwise).
+            if let Some((d, id)) = best {
+                if d <= radius {
+                    return id as u32;
+                }
+            }
+        }
+        // Fall back to brute force (unreachable for CONUS-scale data).
+        let (_, id) = self
+            .seats
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (leo_geomath::great_circle_distance_km(p, s), i))
+            .fold((f64::INFINITY, 0), |acc, x| if x.0 < acc.0 { x } else { acc });
+        id as u32
+    }
+
+    /// The seats.
+    pub fn seats(&self) -> &[LatLng] {
+        &self.seats
+    }
+}
+
+/// Orders county ids from most to least remote, with seeded jitter so
+/// the income gradient isn't a perfect function of metro distance.
+pub fn remoteness_ranking(seed: u64, seats: &[LatLng]) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed ^ RANK_SEED_SALT);
+    let mut scored: Vec<(f64, usize)> = seats
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let remote = geography::distance_to_nearest_metro_km(s);
+            // ±15% multiplicative jitter.
+            let jitter = 1.0 + rng.gen_range(-0.15..0.15);
+            (-remote * jitter, i)
+        })
+        .collect();
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    scored.into_iter().map(|(_, i)| i).collect()
+}
+
+/// Salt decorrelating the ranking jitter from other seeded streams.
+const RANK_SEED_SALT: u64 = 0x5eed_c0de;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geography::conus_polygon;
+
+    #[test]
+    fn seats_fall_inside_the_polygon() {
+        let poly = conus_polygon();
+        let seats = generate_seats(11, 300, &poly);
+        assert_eq!(seats.len(), 300);
+        for s in &seats {
+            assert!(poly.contains(s));
+        }
+    }
+
+    #[test]
+    fn seat_generation_is_deterministic() {
+        let poly = conus_polygon();
+        let a = generate_seats(5, 50, &poly);
+        let b = generate_seats(5, 50, &poly);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.lat_deg(), y.lat_deg());
+            assert_eq!(x.lng_deg(), y.lng_deg());
+        }
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let poly = conus_polygon();
+        let seats = generate_seats(23, 500, &poly);
+        let idx = SeatIndex::new(seats.clone());
+        for &(lat, lng) in &[(39.5, -98.3), (45.0, -69.0), (31.0, -84.0), (47.0, -120.0)] {
+            let p = LatLng::new(lat, lng);
+            let fast = idx.nearest(&p);
+            let brute = seats
+                .iter()
+                .enumerate()
+                .min_by(|a, b| {
+                    let da = leo_geomath::great_circle_distance_km(&p, a.1);
+                    let db = leo_geomath::great_circle_distance_km(&p, b.1);
+                    da.partial_cmp(&db).unwrap()
+                })
+                .unwrap()
+                .0 as u32;
+            assert_eq!(fast, brute, "({lat},{lng})");
+        }
+    }
+
+    #[test]
+    fn remoteness_ranking_is_a_permutation() {
+        let poly = conus_polygon();
+        let seats = generate_seats(3, 200, &poly);
+        let rank = remoteness_ranking(3, &seats);
+        let mut sorted = rank.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn remote_counties_rank_before_metro_counties() {
+        // Construct two synthetic seats: one in Wyoming, one in Manhattan.
+        let seats = vec![LatLng::new(41.0, -108.5), LatLng::new(40.7, -74.0)];
+        let rank = remoteness_ranking(1, &seats);
+        assert_eq!(rank[0], 0, "Wyoming should rank most remote");
+    }
+}

@@ -1,0 +1,116 @@
+//! A seeded smooth random field over the plane.
+//!
+//! The demand generator needs spatial *texture*: un(der)served
+//! locations cluster (Appalachia, the Mississippi delta, tribal lands),
+//! they don't fall i.i.d. over the map. A sum of Gaussian bumps with
+//! seeded random centers, scales, and amplitudes gives a cheap,
+//! deterministic, infinitely differentiable field; combined with
+//! metro-distance it drives which cells hold demand and how much.
+
+use leo_geomath::{GeoBBox, LatLng};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One Gaussian bump of the field.
+#[derive(Debug, Clone, Copy)]
+struct Bump {
+    center: LatLng,
+    /// Characteristic radius, km.
+    scale_km: f64,
+    amplitude: f64,
+}
+
+/// A smooth random field: a sum of Gaussian bumps.
+#[derive(Debug, Clone)]
+pub struct SmoothField {
+    bumps: Vec<Bump>,
+}
+
+impl SmoothField {
+    /// Builds a field of `n_bumps` bumps with centers uniform in
+    /// `bbox`, radii in `scale_km` and amplitudes in `[0, 1]`,
+    /// deterministically from `seed`.
+    pub fn new(seed: u64, bbox: &GeoBBox, n_bumps: usize, scale_km: (f64, f64)) -> Self {
+        assert!(scale_km.0 > 0.0 && scale_km.1 >= scale_km.0, "bad scale range");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bumps = (0..n_bumps)
+            .map(|_| Bump {
+                center: LatLng::new(
+                    rng.gen_range(bbox.lat_min..bbox.lat_max),
+                    rng.gen_range(bbox.lng_min..bbox.lng_max),
+                ),
+                scale_km: rng.gen_range(scale_km.0..=scale_km.1),
+                amplitude: rng.gen_range(0.0..1.0),
+            })
+            .collect();
+        SmoothField { bumps }
+    }
+
+    /// Field value at a point (non-negative; unbounded above, typically
+    /// O(bump count × mean amplitude) near dense bump clusters).
+    pub fn value(&self, p: &LatLng) -> f64 {
+        self.bumps
+            .iter()
+            .map(|b| {
+                let d = leo_geomath::great_circle_distance_km(p, &b.center);
+                b.amplitude * (-0.5 * (d / b.scale_km).powi(2)).exp()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bbox() -> GeoBBox {
+        GeoBBox::new(25.0, 49.0, -125.0, -66.0)
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let f1 = SmoothField::new(42, &bbox(), 50, (100.0, 400.0));
+        let f2 = SmoothField::new(42, &bbox(), 50, (100.0, 400.0));
+        let p = LatLng::new(39.0, -100.0);
+        assert_eq!(f1.value(&p), f2.value(&p));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let f1 = SmoothField::new(1, &bbox(), 50, (100.0, 400.0));
+        let f2 = SmoothField::new(2, &bbox(), 50, (100.0, 400.0));
+        let p = LatLng::new(39.0, -100.0);
+        assert_ne!(f1.value(&p), f2.value(&p));
+    }
+
+    #[test]
+    fn field_is_smooth() {
+        // Values 1 km apart differ by far less than values 500 km apart
+        // on average.
+        let f = SmoothField::new(7, &bbox(), 60, (100.0, 400.0));
+        let mut near = 0.0;
+        let mut far = 0.0;
+        let mut n = 0;
+        for lat in [30.0, 35.0, 40.0, 45.0] {
+            for lng in [-115.0, -105.0, -95.0, -85.0, -75.0] {
+                let p = LatLng::new(lat, lng);
+                let v = f.value(&p);
+                near += (f.value(&leo_geomath::destination(&p, 90.0, 1.0)) - v).abs();
+                far += (f.value(&leo_geomath::destination(&p, 90.0, 500.0)) - v).abs();
+                n += 1;
+            }
+        }
+        assert!(near / n as f64 * 20.0 < far / n as f64, "near {near} far {far}");
+    }
+
+    #[test]
+    fn values_are_nonnegative_and_finite() {
+        let f = SmoothField::new(9, &bbox(), 80, (50.0, 600.0));
+        for lat in 25..49 {
+            for lng in -125..-66 {
+                let v = f.value(&LatLng::new(lat as f64, lng as f64));
+                assert!(v >= 0.0 && v.is_finite());
+            }
+        }
+    }
+}

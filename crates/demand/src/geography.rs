@@ -1,0 +1,179 @@
+//! Synthetic US geography: the CONUS boundary and metro anchor points.
+//!
+//! The boundary is a coarse (~40-vertex) trace of the contiguous United
+//! States — coarse is fine: the paper's statistics depend on the cell
+//! count and demand distribution, not on coastline detail. Alaska and
+//! Hawaii are omitted (DESIGN.md records this; the binding peak-demand
+//! cells in the paper's data are in the CONUS mid-latitudes, and the
+//! constellation-sizing model only consumes the peak cell's latitude).
+
+use leo_geomath::{GeoPolygon, LatLng};
+
+/// Vertices of the contiguous-US boundary (lat, lng), counterclockwise
+/// from the northwest corner.
+pub const CONUS_OUTLINE: &[(f64, f64)] = &[
+    (48.40, -124.70), // NW corner (Olympic peninsula)
+    (46.20, -124.00),
+    (43.00, -124.40),
+    (40.40, -124.40), // Cape Mendocino
+    (38.00, -123.00),
+    (36.30, -121.90),
+    (34.50, -120.50),
+    (34.00, -118.50),
+    (32.50, -117.10), // San Diego
+    (32.50, -114.80),
+    (31.30, -111.00),
+    (31.80, -106.50), // El Paso
+    (29.50, -101.00),
+    (25.90, -97.10), // south tip of Texas
+    (28.00, -96.80),
+    (29.70, -93.80),
+    (29.20, -89.40), // Mississippi delta
+    (30.40, -86.50),
+    (29.70, -83.90),
+    (26.90, -82.30),
+    (25.10, -81.10), // Florida tip (west)
+    (25.10, -80.10), // Florida tip (east)
+    (26.80, -79.95), // West Palm Beach
+    (28.00, -80.50),
+    (30.70, -81.40),
+    (32.00, -80.90),
+    (33.80, -78.00),
+    (35.20, -75.50), // Cape Hatteras
+    (36.90, -75.90),
+    (38.90, -74.90),
+    (40.50, -73.90), // New York
+    (41.50, -70.00), // Cape Cod
+    (43.00, -70.50),
+    (44.80, -66.90), // eastern Maine
+    (47.30, -68.00), // northern Maine
+    (45.00, -74.70), // St. Lawrence
+    (42.90, -78.90), // Buffalo
+    (45.00, -82.50),
+    (46.50, -84.50), // Sault Ste. Marie
+    (48.20, -89.50),
+    (49.00, -95.00), // Lake of the Woods
+    (49.00, -123.00), // 49th parallel to the Pacific
+];
+
+/// The contiguous-US boundary polygon.
+pub fn conus_polygon() -> GeoPolygon {
+    GeoPolygon::from_degrees(CONUS_OUTLINE).expect("CONUS outline is a valid ring")
+}
+
+/// Geographic center of the contiguous US (the hex grid's tangent
+/// point).
+pub fn conus_center() -> LatLng {
+    LatLng::new(39.5, -98.35)
+}
+
+/// Major metropolitan anchor points (lat, lng). Demand *clusters away*
+/// from these in the synthetic model: un- and underserved locations are
+/// predominantly rural, so the remoteness field scores distance from
+/// the nearest metro.
+pub const METRO_CENTERS: &[(f64, f64)] = &[
+    (40.71, -74.01),  // New York
+    (34.05, -118.24), // Los Angeles
+    (41.88, -87.63),  // Chicago
+    (29.76, -95.37),  // Houston
+    (33.45, -112.07), // Phoenix
+    (39.95, -75.17),  // Philadelphia
+    (29.42, -98.49),  // San Antonio
+    (32.72, -117.16), // San Diego
+    (32.78, -96.80),  // Dallas
+    (37.34, -121.89), // San Jose
+    (30.27, -97.74),  // Austin
+    (30.33, -81.66),  // Jacksonville
+    (39.96, -82.99),  // Columbus
+    (35.23, -80.84),  // Charlotte
+    (37.77, -122.42), // San Francisco
+    (39.77, -86.16),  // Indianapolis
+    (47.61, -122.33), // Seattle
+    (39.74, -104.99), // Denver
+    (38.91, -77.04),  // Washington DC
+    (42.36, -71.06),  // Boston
+    (36.16, -86.78),  // Nashville
+    (35.15, -90.05),  // Memphis
+    (45.52, -122.68), // Portland
+    (36.17, -115.14), // Las Vegas
+    (38.63, -90.20),  // St. Louis
+    (39.10, -94.58),  // Kansas City
+    (33.75, -84.39),  // Atlanta
+    (25.76, -80.19),  // Miami
+    (44.98, -93.27),  // Minneapolis
+    (40.44, -79.99),  // Pittsburgh
+    (29.95, -90.07),  // New Orleans
+    (40.76, -111.89), // Salt Lake City
+];
+
+/// Distance (km) from a point to the nearest metro anchor.
+pub fn distance_to_nearest_metro_km(p: &LatLng) -> f64 {
+    METRO_CENTERS
+        .iter()
+        .map(|&(lat, lng)| {
+            leo_geomath::great_circle_distance_km(p, &LatLng::new(lat, lng))
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conus_polygon_is_valid_and_plausibly_sized() {
+        let poly = conus_polygon();
+        // CONUS is ~8.08e6 km²; the coarse trace should be within ~10%.
+        let area = poly.area_km2();
+        assert!(
+            (7.0e6..9.0e6).contains(&area),
+            "CONUS area {area:.3e} km² out of range"
+        );
+    }
+
+    #[test]
+    fn interior_points_are_inside() {
+        let poly = conus_polygon();
+        for &(lat, lng) in &[
+            (39.5, -98.35),  // Kansas
+            (44.0, -120.5),  // Oregon
+            (32.7, -83.0),   // Georgia
+            (35.0, -106.0),  // New Mexico
+            (41.0, -75.0),   // Pennsylvania
+            (37.0, -89.5),   // the peak-demand anchor (SE Missouri)
+        ] {
+            assert!(poly.contains(&LatLng::new(lat, lng)), "({lat},{lng})");
+        }
+    }
+
+    #[test]
+    fn exterior_points_are_outside() {
+        let poly = conus_polygon();
+        for &(lat, lng) in &[
+            (23.0, -98.0),   // Gulf of Mexico
+            (51.0, -100.0),  // Canada
+            (36.0, -60.0),   // Atlantic
+            (30.0, -125.0),  // Pacific
+            (19.7, -155.5),  // Hawaii
+            (64.8, -147.7),  // Alaska
+        ] {
+            assert!(!poly.contains(&LatLng::new(lat, lng)), "({lat},{lng})");
+        }
+    }
+
+    #[test]
+    fn metro_anchors_are_inside_conus() {
+        let poly = conus_polygon();
+        for &(lat, lng) in METRO_CENTERS {
+            assert!(poly.contains(&LatLng::new(lat, lng)), "metro ({lat},{lng})");
+        }
+    }
+
+    #[test]
+    fn remoteness_orders_rural_above_urban() {
+        let rural = LatLng::new(43.0, -107.5); // central Wyoming
+        let urban = LatLng::new(40.7, -74.0); // Manhattan
+        assert!(distance_to_nearest_metro_km(&rural) > 300.0);
+        assert!(distance_to_nearest_metro_km(&urban) < 10.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! ISP service plans and affordability rules (paper §4).
+
+/// The widely-adopted affordability threshold: Internet service should
+/// cost at most 2 % of monthly household income (A4AI "1 for 2",
+/// adopted by the UN Broadband Commission and used by the FCC).
+pub const AFFORDABILITY_THRESHOLD: f64 = 0.02;
+
+/// The Lifeline program's monthly subsidy for Internet service, USD.
+pub const LIFELINE_SUBSIDY_USD: f64 = 9.25;
+
+/// A fixed-broadband service plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IspPlan {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Monthly price, USD (equipment ignored, as in the paper).
+    pub monthly_usd: f64,
+    /// Advertised downlink speed, Mbps.
+    pub dl_mbps: f64,
+    /// Whether the plan delivers FCC "reliable broadband"
+    /// (≥100/20 Mbps).
+    pub reliable_broadband: bool,
+}
+
+impl IspPlan {
+    /// Starlink's Residential plan — its only fixed plan meeting the
+    /// reliable-broadband definition.
+    pub fn starlink_residential() -> Self {
+        IspPlan {
+            name: "Starlink Residential",
+            monthly_usd: 120.0,
+            dl_mbps: 150.0,
+            reliable_broadband: true,
+        }
+    }
+
+    /// Starlink Residential with the Lifeline subsidy applied.
+    pub fn starlink_with_lifeline() -> Self {
+        IspPlan {
+            name: "Starlink Residential (w/ Lifeline)",
+            monthly_usd: 120.0 - LIFELINE_SUBSIDY_USD,
+            dl_mbps: 150.0,
+            reliable_broadband: true,
+        }
+    }
+
+    /// Spectrum Internet Premier, the paper's cable comparison.
+    pub fn spectrum_premier() -> Self {
+        IspPlan {
+            name: "Spectrum Internet Premier",
+            monthly_usd: 50.0,
+            dl_mbps: 500.0,
+            reliable_broadband: true,
+        }
+    }
+
+    /// Xfinity 300, the paper's other cable comparison.
+    pub fn xfinity_300() -> Self {
+        IspPlan {
+            name: "Xfinity 300",
+            monthly_usd: 40.0,
+            dl_mbps: 300.0,
+            reliable_broadband: true,
+        }
+    }
+
+    /// The four plans of Figure 4, in the paper's order.
+    pub fn figure4_catalog() -> Vec<IspPlan> {
+        vec![
+            IspPlan::xfinity_300(),
+            IspPlan::spectrum_premier(),
+            IspPlan::starlink_with_lifeline(),
+            IspPlan::starlink_residential(),
+        ]
+    }
+
+    /// Monthly price as a proportion of monthly income for a household
+    /// with `annual_income_usd`.
+    pub fn income_proportion(&self, annual_income_usd: f64) -> f64 {
+        if annual_income_usd <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.monthly_usd / (annual_income_usd / 12.0)
+    }
+
+    /// Whether the plan is affordable (≤ 2 % of monthly income) for a
+    /// household with `annual_income_usd`.
+    pub fn affordable_for(&self, annual_income_usd: f64) -> bool {
+        self.income_proportion(annual_income_usd) <= AFFORDABILITY_THRESHOLD
+    }
+
+    /// Minimum annual household income at which the plan meets the 2 %
+    /// threshold.
+    pub fn min_affordable_income_usd(&self) -> f64 {
+        self.monthly_usd * 12.0 / AFFORDABILITY_THRESHOLD
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_lifeline_arithmetic() {
+        // "even with Lifeline support, a household must earn at least
+        // $66,450 per year for Starlink's service to fall under the 2%
+        // affordability threshold."
+        let plan = IspPlan::starlink_with_lifeline();
+        assert!((plan.monthly_usd - 110.75).abs() < 1e-9);
+        assert!((plan.min_affordable_income_usd() - 66_450.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn residential_threshold_is_72k() {
+        let plan = IspPlan::starlink_residential();
+        assert!((plan.min_affordable_income_usd() - 72_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cable_plans_are_affordable_at_modest_incomes() {
+        assert!(IspPlan::xfinity_300().affordable_for(24_000.0));
+        assert!(IspPlan::spectrum_premier().affordable_for(30_000.0));
+        assert!(!IspPlan::spectrum_premier().affordable_for(29_000.0));
+    }
+
+    #[test]
+    fn affordability_is_monotone_in_income() {
+        let plan = IspPlan::starlink_residential();
+        assert!(!plan.affordable_for(71_999.0));
+        assert!(plan.affordable_for(72_000.0));
+        assert!(plan.affordable_for(200_000.0));
+    }
+
+    #[test]
+    fn degenerate_income_is_unaffordable() {
+        let plan = IspPlan::starlink_residential();
+        assert!(!plan.affordable_for(0.0));
+        assert!(!plan.affordable_for(-5.0));
+    }
+
+    #[test]
+    fn catalog_is_sorted_by_price() {
+        let plans = IspPlan::figure4_catalog();
+        assert_eq!(plans.len(), 4);
+        for w in plans.windows(2) {
+            assert!(w[0].monthly_usd <= w[1].monthly_usd);
+        }
+    }
+
+    #[test]
+    fn proportion_example() {
+        // $120/mo on a $66,450 income is ~2.17% — above threshold.
+        let p = IspPlan::starlink_residential().income_proportion(66_450.0);
+        assert!((p - 0.02167).abs() < 1e-4, "{p}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the calibration machinery.
+
+use leo_demand::income::assign_county_incomes;
+use leo_demand::plans::IspPlan;
+use leo_demand::stats::{cdf_sorted, quantile_sorted, QuantileCurve};
+use proptest::prelude::*;
+
+fn curve() -> QuantileCurve {
+    QuantileCurve::new(vec![
+        (0.0, 1.0),
+        (0.36, 61.0),
+        (0.90, 552.0),
+        (0.99, 1437.0),
+        (1.0, 2550.0),
+    ])
+}
+
+proptest! {
+    #[test]
+    fn quantile_curve_is_monotone(u1 in 0.0..1.0f64, du in 0.0..1.0f64) {
+        let c = curve();
+        let u2 = (u1 + du).min(1.0);
+        prop_assert!(c.value(u2) >= c.value(u1) - 1e-12);
+    }
+
+    #[test]
+    fn cdf_and_value_are_inverse(u in 0.001..0.999f64) {
+        let c = curve();
+        let v = c.value(u);
+        prop_assert!((c.cdf(v) - u).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_clamps_out_of_range(v in -100.0..10_000.0f64) {
+        let c = curve();
+        let f = c.cdf(v);
+        prop_assert!((0.0..=1.0).contains(&f));
+        if v <= 1.0 { prop_assert_eq!(f, 0.0); }
+        if v >= 2550.0 { prop_assert_eq!(f, 1.0); }
+    }
+
+    #[test]
+    fn empirical_quantile_respects_order(mut values in proptest::collection::vec(0u64..10_000, 1..300),
+                                         q1 in 0.0..1.0f64, dq in 0.0..1.0f64) {
+        values.sort_unstable();
+        let q2 = (q1 + dq).min(1.0);
+        prop_assert!(quantile_sorted(&values, q2) >= quantile_sorted(&values, q1));
+    }
+
+    #[test]
+    fn empirical_cdf_matches_quantile(mut values in proptest::collection::vec(0u64..1_000, 1..200),
+                                      q in 0.01..1.0f64) {
+        values.sort_unstable();
+        let v = quantile_sorted(&values, q);
+        // At least a q-fraction of values are ≤ the q-quantile.
+        prop_assert!(cdf_sorted(&values, v) + 1e-9 >= q);
+    }
+
+    #[test]
+    fn income_assignment_is_total_and_ordered(weights in proptest::collection::vec(0u64..1_000, 2..100)) {
+        let n = weights.len();
+        let rank: Vec<usize> = (0..n).collect();
+        let incomes = assign_county_incomes(&weights, &rank);
+        prop_assert_eq!(incomes.len(), n);
+        for v in &incomes {
+            prop_assert!(v.is_finite() && *v > 0.0);
+        }
+        // Walking the rank order, incomes are non-decreasing.
+        for w in rank.windows(2) {
+            prop_assert!(incomes[w[0]] <= incomes[w[1]] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn plan_affordability_threshold_is_sharp(price in 10.0..300.0f64) {
+        let plan = IspPlan {
+            name: "test",
+            monthly_usd: price,
+            dl_mbps: 100.0,
+            reliable_broadband: true,
+        };
+        let threshold = plan.min_affordable_income_usd();
+        // The boundary itself is float-rounding sensitive; probe just
+        // either side of it.
+        prop_assert!(plan.affordable_for(threshold * 1.000_001));
+        prop_assert!(!plan.affordable_for(threshold * 0.999));
+        // The threshold is exactly monthly×12/0.02.
+        prop_assert!((threshold - price * 600.0).abs() < 1e-6);
+    }
+}

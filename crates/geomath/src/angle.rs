@@ -1,0 +1,193 @@
+//! Angle newtypes and normalization helpers.
+//!
+//! Latitude/longitude inputs arrive in degrees from the (synthetic)
+//! broadband-map datasets; all trigonometry happens in radians. The
+//! [`Deg`] and [`Rad`] newtypes keep the two unit systems from mixing
+//! silently, which is by far the most common class of bug in geodesy
+//! code.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An angle in degrees.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Deg(pub f64);
+
+/// An angle in radians.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Rad(pub f64);
+
+impl Deg {
+    /// Converts to radians.
+    #[inline]
+    pub fn to_rad(self) -> Rad {
+        Rad(self.0.to_radians())
+    }
+
+    /// Sine of the angle.
+    #[inline]
+    pub fn sin(self) -> f64 {
+        self.0.to_radians().sin()
+    }
+
+    /// Cosine of the angle.
+    #[inline]
+    pub fn cos(self) -> f64 {
+        self.0.to_radians().cos()
+    }
+
+    /// Tangent of the angle.
+    #[inline]
+    pub fn tan(self) -> f64 {
+        self.0.to_radians().tan()
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub fn abs(self) -> Deg {
+        Deg(self.0.abs())
+    }
+}
+
+impl Rad {
+    /// Converts to degrees.
+    #[inline]
+    pub fn to_deg(self) -> Deg {
+        Deg(self.0.to_degrees())
+    }
+}
+
+impl fmt::Display for Deg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}°", self.0)
+    }
+}
+
+impl fmt::Display for Rad {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.8} rad", self.0)
+    }
+}
+
+macro_rules! impl_arith {
+    ($t:ident) => {
+        impl Add for $t {
+            type Output = $t;
+            #[inline]
+            fn add(self, rhs: $t) -> $t {
+                $t(self.0 + rhs.0)
+            }
+        }
+        impl Sub for $t {
+            type Output = $t;
+            #[inline]
+            fn sub(self, rhs: $t) -> $t {
+                $t(self.0 - rhs.0)
+            }
+        }
+        impl Neg for $t {
+            type Output = $t;
+            #[inline]
+            fn neg(self) -> $t {
+                $t(-self.0)
+            }
+        }
+        impl Mul<f64> for $t {
+            type Output = $t;
+            #[inline]
+            fn mul(self, rhs: f64) -> $t {
+                $t(self.0 * rhs)
+            }
+        }
+        impl Div<f64> for $t {
+            type Output = $t;
+            #[inline]
+            fn div(self, rhs: f64) -> $t {
+                $t(self.0 / rhs)
+            }
+        }
+    };
+}
+
+impl_arith!(Deg);
+impl_arith!(Rad);
+
+/// Normalizes a longitude in degrees to the half-open interval
+/// `[-180, 180)`.
+///
+/// Longitudes that differ by full turns refer to the same meridian; the
+/// normalization keeps cell keys and projection inputs canonical.
+pub fn normalize_lng_deg(lng: f64) -> f64 {
+    let mut x = (lng + 180.0) % 360.0;
+    if x < 0.0 {
+        x += 360.0;
+    }
+    x - 180.0
+}
+
+/// Clamps a latitude in degrees to `[-90, 90]`.
+///
+/// Out-of-range latitudes are geometrically meaningless; callers that
+/// produce them (e.g. by adding an offset near a pole) want saturation
+/// rather than wrap-around, because wrapping across a pole also flips
+/// the longitude and is handled by the great-circle routines instead.
+pub fn normalize_lat_deg(lat: f64) -> f64 {
+    lat.clamp(-90.0, 90.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deg_rad_round_trip() {
+        let d = Deg(37.42);
+        let back = d.to_rad().to_deg();
+        assert!((back.0 - d.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lng_normalization_basic() {
+        assert_eq!(normalize_lng_deg(0.0), 0.0);
+        assert_eq!(normalize_lng_deg(180.0), -180.0);
+        assert_eq!(normalize_lng_deg(-180.0), -180.0);
+        assert_eq!(normalize_lng_deg(190.0), -170.0);
+        assert_eq!(normalize_lng_deg(-190.0), 170.0);
+        assert_eq!(normalize_lng_deg(540.0), -180.0);
+        assert_eq!(normalize_lng_deg(359.0), -1.0);
+    }
+
+    #[test]
+    fn lng_normalization_idempotent() {
+        for lng in [-720.5, -359.0, -181.0, -0.25, 12.5, 179.99, 1234.5] {
+            let once = normalize_lng_deg(lng);
+            let twice = normalize_lng_deg(once);
+            assert!((once - twice).abs() < 1e-12, "lng={lng}");
+            assert!((-180.0..180.0).contains(&once), "lng={lng} -> {once}");
+        }
+    }
+
+    #[test]
+    fn lat_clamping() {
+        assert_eq!(normalize_lat_deg(95.0), 90.0);
+        assert_eq!(normalize_lat_deg(-95.0), -90.0);
+        assert_eq!(normalize_lat_deg(45.0), 45.0);
+    }
+
+    #[test]
+    fn trig_helpers_match_std() {
+        let d = Deg(30.0);
+        assert!((d.sin() - 0.5).abs() < 1e-12);
+        assert!((d.cos() - 3f64.sqrt() / 2.0).abs() < 1e-12);
+        assert!((d.tan() - (1.0 / 3f64.sqrt())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        assert_eq!((Deg(10.0) + Deg(5.0)).0, 15.0);
+        assert_eq!((Deg(10.0) - Deg(5.0)).0, 5.0);
+        assert_eq!((-Deg(10.0)).0, -10.0);
+        assert_eq!((Deg(10.0) * 2.0).0, 20.0);
+        assert_eq!((Deg(10.0) / 2.0).0, 5.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Physical constants shared by the geodesy and orbit layers.
+//!
+//! The paper's constellation-sizing model divides the Earth's surface
+//! area by a per-satellite service area, so the exact radius convention
+//! matters for reproducibility. We follow the common spherical-Earth
+//! convention used by H3's published cell areas: the **authalic radius**
+//! (the radius of the sphere with the same surface area as the WGS84
+//! ellipsoid).
+
+/// Authalic (equal-area) Earth radius in kilometers.
+pub const EARTH_RADIUS_KM: f64 = 6371.007_180_918_475;
+
+/// Surface area of the spherical Earth, in square kilometers
+/// (`4 * PI * R^2` ≈ 5.10066e8 km²).
+pub const EARTH_SURFACE_AREA_KM2: f64 =
+    4.0 * std::f64::consts::PI * EARTH_RADIUS_KM * EARTH_RADIUS_KM;
+
+/// WGS84 semi-major axis (equatorial radius), kilometers.
+pub const WGS84_A_KM: f64 = 6378.137;
+
+/// WGS84 flattening `f = (a - b) / a`.
+pub const WGS84_F: f64 = 1.0 / 298.257_223_563;
+
+/// WGS84 semi-minor axis (polar radius), kilometers.
+pub const WGS84_B_KM: f64 = WGS84_A_KM * (1.0 - WGS84_F);
+
+/// WGS84 first eccentricity squared, `e² = f (2 − f)`.
+pub const WGS84_E2: f64 = WGS84_F * (2.0 - WGS84_F);
+
+/// Standard gravitational parameter of Earth, km³/s² (WGS84 value).
+pub const EARTH_MU_KM3_S2: f64 = 398_600.4418;
+
+/// Earth's sidereal rotation rate, radians per second.
+pub const EARTH_ROTATION_RATE_RAD_S: f64 = 7.292_115_146_706_979e-5;
+
+/// Seconds in one sidereal day (2π / rotation rate).
+pub const SIDEREAL_DAY_S: f64 = 86_164.0905;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surface_area_matches_known_value() {
+        // 5.10066e8 km² is the textbook surface area of the Earth.
+        assert!((EARTH_SURFACE_AREA_KM2 - 5.100_66e8).abs() / 5.100_66e8 < 1e-4);
+    }
+
+    #[test]
+    fn wgs84_polar_radius() {
+        assert!((WGS84_B_KM - 6356.752_314).abs() < 1e-3);
+    }
+
+    #[test]
+    fn eccentricity_squared() {
+        assert!((WGS84_E2 - 6.694_379_990_14e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn authalic_radius_between_polar_and_equatorial() {
+        assert!(EARTH_RADIUS_KM > WGS84_B_KM);
+        assert!(EARTH_RADIUS_KM < WGS84_A_KM);
+    }
+
+    #[test]
+    fn sidereal_day_consistent_with_rotation_rate() {
+        let day = 2.0 * std::f64::consts::PI / EARTH_ROTATION_RATE_RAD_S;
+        assert!((day - SIDEREAL_DAY_S).abs() < 0.5);
+    }
+}

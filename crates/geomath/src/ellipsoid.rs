@@ -1,0 +1,143 @@
+//! Ellipsoidal (WGS84) geodesic distance — Vincenty's inverse formula.
+//!
+//! The model layer works on the authalic sphere (consistent with its
+//! area accounting), which is accurate to ~0.5 % in distance. For the
+//! places where sub-kilometer accuracy matters — gateway slant-range
+//! audits, dataset validation against real-world coordinates — this
+//! module provides the full ellipsoidal geodesic. Vincenty's iteration
+//! converges for all but nearly-antipodal pairs; those return `None`
+//! and callers fall back to the spherical value (error < 0.6 %).
+
+use crate::constants::{WGS84_A_KM, WGS84_B_KM, WGS84_F};
+use crate::latlng::LatLng;
+
+/// Geodesic distance between two points on the WGS84 ellipsoid, km,
+/// via Vincenty's inverse formula. Returns `None` if the iteration
+/// fails to converge (nearly antipodal points).
+pub fn vincenty_distance_km(p1: &LatLng, p2: &LatLng) -> Option<f64> {
+    let (a, b, f) = (WGS84_A_KM, WGS84_B_KM, WGS84_F);
+    let l = (p2.lng_deg() - p1.lng_deg()).to_radians();
+    // Reduced latitudes.
+    let u1 = ((1.0 - f) * p1.lat_rad().tan()).atan();
+    let u2 = ((1.0 - f) * p2.lat_rad().tan()).atan();
+    let (su1, cu1) = u1.sin_cos();
+    let (su2, cu2) = u2.sin_cos();
+
+    let mut lambda = l;
+    let mut iterations = 0;
+    let (cos_sq_alpha, sin_sigma, cos_sigma, sigma, cos2sm) = loop {
+        let (sl, cl) = lambda.sin_cos();
+        let sin_sigma = ((cu2 * sl).powi(2) + (cu1 * su2 - su1 * cu2 * cl).powi(2)).sqrt();
+        if sin_sigma == 0.0 {
+            return Some(0.0); // coincident points
+        }
+        let cos_sigma = su1 * su2 + cu1 * cu2 * cl;
+        let sigma = sin_sigma.atan2(cos_sigma);
+        let sin_alpha = cu1 * cu2 * sl / sin_sigma;
+        let cos_sq_alpha = 1.0 - sin_alpha * sin_alpha;
+        let cos2sm = if cos_sq_alpha.abs() < 1e-12 {
+            0.0 // equatorial line
+        } else {
+            cos_sigma - 2.0 * su1 * su2 / cos_sq_alpha
+        };
+        let c = f / 16.0 * cos_sq_alpha * (4.0 + f * (4.0 - 3.0 * cos_sq_alpha));
+        let lambda_new = l
+            + (1.0 - c)
+                * f
+                * sin_alpha
+                * (sigma
+                    + c * sin_sigma
+                        * (cos2sm + c * cos_sigma * (-1.0 + 2.0 * cos2sm * cos2sm)));
+        let delta = (lambda_new - lambda).abs();
+        lambda = lambda_new;
+        iterations += 1;
+        if delta < 1e-12 {
+            break (cos_sq_alpha, sin_sigma, cos_sigma, sigma, cos2sm);
+        }
+        if iterations > 200 {
+            return None; // antipodal non-convergence
+        }
+    };
+
+    let u_sq = cos_sq_alpha * (a * a - b * b) / (b * b);
+    let big_a = 1.0 + u_sq / 16384.0 * (4096.0 + u_sq * (-768.0 + u_sq * (320.0 - 175.0 * u_sq)));
+    let big_b = u_sq / 1024.0 * (256.0 + u_sq * (-128.0 + u_sq * (74.0 - 47.0 * u_sq)));
+    let delta_sigma = big_b
+        * sin_sigma
+        * (cos2sm
+            + big_b / 4.0
+                * (cos_sigma * (-1.0 + 2.0 * cos2sm * cos2sm)
+                    - big_b / 6.0
+                        * cos2sm
+                        * (-3.0 + 4.0 * sin_sigma * sin_sigma)
+                        * (-3.0 + 4.0 * cos2sm * cos2sm)));
+    Some(b * big_a * (sigma - delta_sigma))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sphere::great_circle_distance_km;
+
+    #[test]
+    fn known_baseline_lax_jfk() {
+        // LAX (33.9425 N, 118.408 W) to JFK (40.63972 N, 73.77889 W):
+        // 2,475 statute miles ≈ 3,983 km on the ellipsoid.
+        let lax = LatLng::new(33.9425, -118.408);
+        let jfk = LatLng::new(40.63972, -73.77889);
+        let d = vincenty_distance_km(&lax, &jfk).unwrap();
+        assert!((d - 3983.0).abs() < 1.0, "got {d}");
+    }
+
+    #[test]
+    fn equatorial_degree() {
+        // One degree of longitude on the equator: 111.3195 km (WGS84).
+        let a = LatLng::new(0.0, 0.0);
+        let b = LatLng::new(0.0, 1.0);
+        let d = vincenty_distance_km(&a, &b).unwrap();
+        assert!((d - 111.3195).abs() < 1e-3, "got {d}");
+    }
+
+    #[test]
+    fn meridional_degree_at_pole_vs_equator() {
+        // The ellipsoid's flattening: a degree of latitude is longer
+        // near the poles (~111.69 km) than at the equator (~110.57 km).
+        let eq = vincenty_distance_km(&LatLng::new(0.0, 0.0), &LatLng::new(1.0, 0.0)).unwrap();
+        let polar =
+            vincenty_distance_km(&LatLng::new(88.0, 0.0), &LatLng::new(89.0, 0.0)).unwrap();
+        assert!((eq - 110.57).abs() < 0.02, "equator {eq}");
+        assert!((polar - 111.69).abs() < 0.02, "polar {polar}");
+        assert!(polar > eq);
+    }
+
+    #[test]
+    fn coincident_points_are_zero() {
+        let p = LatLng::new(42.0, -71.0);
+        assert_eq!(vincenty_distance_km(&p, &p), Some(0.0));
+    }
+
+    #[test]
+    fn agrees_with_sphere_to_half_percent() {
+        for &(a1, o1, a2, o2) in &[
+            (39.5, -98.35, 37.0, -89.5),
+            (47.6, -122.3, 25.8, -80.2),
+            (0.0, 0.0, 45.0, 90.0),
+        ] {
+            let p = LatLng::new(a1, o1);
+            let q = LatLng::new(a2, o2);
+            let v = vincenty_distance_km(&p, &q).unwrap();
+            let s = great_circle_distance_km(&p, &q);
+            assert!((v - s).abs() / v < 0.006, "({a1},{o1})→({a2},{o2}): {v} vs {s}");
+        }
+    }
+
+    #[test]
+    fn nearly_antipodal_returns_none_or_half_circumference() {
+        let a = LatLng::new(0.0, 0.0);
+        let b = LatLng::new(0.1, 179.95);
+        match vincenty_distance_km(&a, &b) {
+            None => {} // acceptable: documented non-convergence
+            Some(d) => assert!((19_900.0..20_100.0).contains(&d), "got {d}"),
+        }
+    }
+}

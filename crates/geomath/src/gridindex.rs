@@ -1,0 +1,156 @@
+//! A uniform spatial hash index over geographic points.
+//!
+//! The synthetic broadband map holds millions of locations; assigning
+//! each to a county polygon or querying neighbourhoods by brute force
+//! would be quadratic. `GridIndex` buckets points into fixed-size
+//! lat/lng tiles and supports radius queries, which is all the pipeline
+//! needs (the hex grid itself does the service-cell binning).
+
+use crate::latlng::LatLng;
+use crate::sphere::great_circle_distance_km;
+use std::collections::HashMap;
+
+/// A spatial hash over points with `usize` payloads (typically indices
+/// into an external location table).
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    tile_deg: f64,
+    tiles: HashMap<(i32, i32), Vec<(LatLng, usize)>>,
+    len: usize,
+}
+
+impl GridIndex {
+    /// Creates an index with square tiles of `tile_deg` degrees.
+    ///
+    /// `tile_deg` must be positive; a degenerate value is clamped to a
+    /// small epsilon rather than panicking.
+    pub fn new(tile_deg: f64) -> Self {
+        GridIndex {
+            tile_deg: tile_deg.max(1e-6),
+            tiles: HashMap::new(),
+            len: 0,
+        }
+    }
+
+    fn key(&self, p: &LatLng) -> (i32, i32) {
+        (
+            (p.lat_deg() / self.tile_deg).floor() as i32,
+            (p.lng_deg() / self.tile_deg).floor() as i32,
+        )
+    }
+
+    /// Inserts a point with its payload.
+    pub fn insert(&mut self, p: LatLng, payload: usize) {
+        let k = self.key(&p);
+        self.tiles.entry(k).or_default().push((p, payload));
+        self.len += 1;
+    }
+
+    /// Number of points stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns payloads of all points within `radius_km` of `center`,
+    /// in insertion-bucket order (callers sort if they need stability
+    /// beyond the deterministic hash iteration used here).
+    pub fn query_radius(&self, center: &LatLng, radius_km: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_within(center, radius_km, |_, payload| out.push(payload));
+        out.sort_unstable();
+        out
+    }
+
+    /// Visits every `(point, payload)` within `radius_km` of `center`.
+    pub fn for_each_within<F: FnMut(&LatLng, usize)>(
+        &self,
+        center: &LatLng,
+        radius_km: f64,
+        mut f: F,
+    ) {
+        // Conservative tile window: 1° latitude ≈ 111.2 km; longitude
+        // tiles shrink by cos(lat), guard against the poles.
+        let lat_pad = radius_km / 111.19;
+        let cos_lat = center.lat_rad().cos().max(0.05);
+        let lng_pad = radius_km / (111.19 * cos_lat);
+        let (lat_lo, lat_hi) = (
+            ((center.lat_deg() - lat_pad) / self.tile_deg).floor() as i32,
+            ((center.lat_deg() + lat_pad) / self.tile_deg).floor() as i32,
+        );
+        let (lng_lo, lng_hi) = (
+            ((center.lng_deg() - lng_pad) / self.tile_deg).floor() as i32,
+            ((center.lng_deg() + lng_pad) / self.tile_deg).floor() as i32,
+        );
+        for ti in lat_lo..=lat_hi {
+            for tj in lng_lo..=lng_hi {
+                if let Some(bucket) = self.tiles.get(&(ti, tj)) {
+                    for (p, payload) in bucket {
+                        if great_circle_distance_km(center, p) <= radius_km {
+                            f(p, *payload);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_index() {
+        let idx = GridIndex::new(1.0);
+        assert!(idx.is_empty());
+        assert!(idx.query_radius(&LatLng::new(0.0, 0.0), 100.0).is_empty());
+    }
+
+    #[test]
+    fn finds_points_within_radius_only() {
+        let mut idx = GridIndex::new(0.5);
+        let center = LatLng::new(39.5, -98.35);
+        idx.insert(center, 0);
+        idx.insert(crate::sphere::destination(&center, 90.0, 10.0), 1);
+        idx.insert(crate::sphere::destination(&center, 180.0, 49.0), 2);
+        idx.insert(crate::sphere::destination(&center, 270.0, 51.0), 3);
+        idx.insert(crate::sphere::destination(&center, 0.0, 200.0), 4);
+        let hits = idx.query_radius(&center, 50.0);
+        assert_eq!(hits, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn radius_query_across_tile_boundaries() {
+        let mut idx = GridIndex::new(0.1);
+        // Scatter a ring of points right around a tile corner.
+        let corner = LatLng::new(40.0, -100.0);
+        for (i, bearing) in (0..12).map(|k| (k, k as f64 * 30.0)) {
+            idx.insert(crate::sphere::destination(&corner, bearing, 5.0), i);
+        }
+        let hits = idx.query_radius(&corner, 6.0);
+        assert_eq!(hits.len(), 12);
+    }
+
+    #[test]
+    fn high_latitude_query_is_not_truncated() {
+        let mut idx = GridIndex::new(1.0);
+        let center = LatLng::new(64.8, -147.7); // Fairbanks
+        idx.insert(crate::sphere::destination(&center, 90.0, 90.0), 7);
+        let hits = idx.query_radius(&center, 100.0);
+        assert_eq!(hits, vec![7]);
+    }
+
+    #[test]
+    fn len_tracks_inserts() {
+        let mut idx = GridIndex::new(1.0);
+        for i in 0..100 {
+            idx.insert(LatLng::new(i as f64 * 0.1, i as f64 * 0.2), i);
+        }
+        assert_eq!(idx.len(), 100);
+    }
+}

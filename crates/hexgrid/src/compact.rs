@@ -1,0 +1,175 @@
+//! Cell-set compaction across the aperture-7 hierarchy.
+//!
+//! A polyfill of CONUS at resolution 5 holds ~32 k cells; most interior
+//! regions are fully covered parents. `compact` replaces every complete
+//! set of seven siblings with their parent, recursively — the same
+//! operation as H3's `compactCells` — and `uncompact` restores a
+//! uniform-resolution set. The demand layer uses this to store and
+//! exchange service regions cheaply.
+
+use crate::cell::CellId;
+use crate::hierarchy;
+use std::collections::{HashMap, HashSet};
+
+/// Compacts a set of same-resolution cells: any parent all seven of
+/// whose children are present is substituted for them, repeatedly up
+/// the hierarchy. Input order is irrelevant; duplicates are ignored.
+/// Output is sorted and duplicate-free, and may mix resolutions.
+///
+/// Panics if the input mixes resolutions (callers compact uniform
+/// layers; mixed input is almost always a bug).
+pub fn compact(cells: &[CellId]) -> Vec<CellId> {
+    if cells.is_empty() {
+        return Vec::new();
+    }
+    let res = cells[0].resolution();
+    assert!(
+        cells.iter().all(|c| c.resolution() == res),
+        "compact requires a uniform-resolution input"
+    );
+    let mut out: Vec<CellId> = Vec::new();
+    let mut layer: HashSet<CellId> = cells.iter().copied().collect();
+    let mut level = res;
+    while level > 0 && !layer.is_empty() {
+        // Group by parent; complete groups ascend, the rest emit.
+        let mut groups: HashMap<CellId, u8> = HashMap::new();
+        for c in &layer {
+            let parent = c.parent().expect("level > 0");
+            *groups.entry(parent).or_insert(0) += 1;
+        }
+        let mut next: HashSet<CellId> = HashSet::new();
+        let complete: HashSet<CellId> = groups
+            .into_iter()
+            .filter(|&(_, n)| n == 7)
+            .map(|(p, _)| p)
+            .collect();
+        for c in layer {
+            if complete.contains(&c.parent().expect("level > 0")) {
+                continue; // absorbed into the parent
+            }
+            out.push(c);
+        }
+        next.extend(complete);
+        layer = next;
+        level -= 1;
+    }
+    out.extend(layer);
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Expands a (possibly mixed-resolution) compacted set back to a
+/// uniform resolution. Panics if any cell is finer than `res`.
+pub fn uncompact(cells: &[CellId], res: u8) -> Vec<CellId> {
+    let mut out = Vec::new();
+    for &c in cells {
+        let cr = c.resolution();
+        assert!(cr <= res, "cell {c} is finer than target resolution {res}");
+        let levels = res - cr;
+        for coord in hierarchy::descendants(&c.coord(), levels) {
+            out.push(CellId::pack(res, coord));
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coord::Axial;
+
+    fn children_of(res: u8, coord: Axial) -> Vec<CellId> {
+        CellId::pack(res, coord).children().unwrap().to_vec()
+    }
+
+    #[test]
+    fn complete_family_compacts_to_parent() {
+        let parent = CellId::pack(4, Axial::new(3, -2));
+        let kids = children_of(4, Axial::new(3, -2));
+        assert_eq!(compact(&kids), vec![parent]);
+    }
+
+    #[test]
+    fn incomplete_family_stays() {
+        let kids = children_of(4, Axial::new(3, -2));
+        let partial = &kids[..6];
+        let compacted = compact(partial);
+        assert_eq!(compacted.len(), 6);
+        assert!(compacted.iter().all(|c| c.resolution() == 5));
+    }
+
+    #[test]
+    fn multi_level_compaction() {
+        // All 49 grandchildren of one res-3 cell compact to that cell.
+        let root = CellId::pack(3, Axial::new(0, 1));
+        let grandkids = uncompact(&[root], 5);
+        assert_eq!(grandkids.len(), 49);
+        assert_eq!(compact(&grandkids), vec![root]);
+    }
+
+    #[test]
+    fn compact_uncompact_round_trip() {
+        // A complete family plus a few strays.
+        let mut set = children_of(5, Axial::new(10, 10));
+        set.push(CellId::pack(6, Axial::new(500, 500)));
+        set.push(CellId::pack(6, Axial::new(501, 500)));
+        let mut expect: Vec<CellId> = uncompact(&set, 6);
+        expect.sort_unstable();
+        let compacted = compact(&uncompact(&set, 6));
+        let mut back = uncompact(&compacted, 6);
+        back.sort_unstable();
+        assert_eq!(back, expect);
+        // And compaction actually shrank the representation.
+        assert!(compacted.len() < expect.len());
+    }
+
+    #[test]
+    fn empty_and_duplicates() {
+        assert!(compact(&[]).is_empty());
+        let c = CellId::pack(5, Axial::new(1, 1));
+        assert_eq!(compact(&[c, c, c]), vec![c]);
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform-resolution")]
+    fn mixed_resolution_input_panics() {
+        let a = CellId::pack(5, Axial::new(0, 0));
+        let b = CellId::pack(4, Axial::new(0, 0));
+        let _ = compact(&[a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finer than target")]
+    fn uncompact_rejects_finer_cells() {
+        let a = CellId::pack(6, Axial::new(0, 0));
+        let _ = uncompact(&[a], 5);
+    }
+
+    #[test]
+    fn conus_polyfill_compacts_substantially() {
+        use leo_geomath::GeoPolygon;
+        let grid = crate::GeoHexGrid::starlink();
+        // A mid-size region: 4°×4° block.
+        let poly = GeoPolygon::from_degrees(&[
+            (36.0, -102.0),
+            (36.0, -98.0),
+            (40.0, -98.0),
+            (40.0, -102.0),
+        ])
+        .unwrap();
+        let cells = grid.polyfill(&poly, 5);
+        let compacted = compact(&cells);
+        assert!(
+            compacted.len() * 2 < cells.len(),
+            "compaction {} -> {} not substantial",
+            cells.len(),
+            compacted.len()
+        );
+        let mut back = uncompact(&compacted, 5);
+        back.sort_unstable();
+        assert_eq!(back, cells);
+    }
+}

@@ -1,0 +1,172 @@
+//! Directed cell edges.
+//!
+//! A directed edge identifies the adjacency from one cell to one of its
+//! six neighbours — the H3 "directed edge" concept. Edges give region
+//! boundaries without double-counting shared segments and name the
+//! links of cell-adjacency graphs (e.g. exporting a demand region's
+//! topology).
+
+use crate::cell::CellId;
+use crate::coord::NEIGHBOR_OFFSETS;
+
+/// A directed edge from a cell to one of its neighbours.
+///
+/// Packing: the origin's 60-bit cell id in the low bits, the direction
+/// (0–5, counterclockwise from `+q`) in bits 60–62.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DirectedEdge(u64);
+
+impl DirectedEdge {
+    /// Creates the edge leaving `origin` in `direction` (0–5).
+    pub fn new(origin: CellId, direction: u8) -> Option<DirectedEdge> {
+        if direction >= 6 {
+            return None;
+        }
+        Some(DirectedEdge(origin.as_u64() | ((direction as u64) << 60)))
+    }
+
+    /// The origin cell.
+    pub fn origin(&self) -> CellId {
+        CellId::from_u64(self.0 & ((1 << 60) - 1)).expect("constructed from a valid cell")
+    }
+
+    /// The direction index, 0–5.
+    pub fn direction(&self) -> u8 {
+        ((self.0 >> 60) & 0x7) as u8
+    }
+
+    /// The destination cell.
+    pub fn destination(&self) -> CellId {
+        let o = self.origin();
+        let coord = o.coord().add(NEIGHBOR_OFFSETS[self.direction() as usize]);
+        CellId::pack(o.resolution(), coord)
+    }
+
+    /// The same edge traversed the other way.
+    pub fn reversed(&self) -> DirectedEdge {
+        let dir = self.direction();
+        // The reverse leaves the destination in the opposite direction
+        // (offset index + 3 mod 6).
+        DirectedEdge::new(self.destination(), (dir + 3) % 6).expect("direction < 6")
+    }
+
+    /// The raw 64-bit value.
+    pub fn as_u64(&self) -> u64 {
+        self.0
+    }
+
+    /// All six outgoing edges of a cell.
+    pub fn edges_of(cell: CellId) -> [DirectedEdge; 6] {
+        std::array::from_fn(|d| DirectedEdge::new(cell, d as u8).expect("d < 6"))
+    }
+
+    /// The edge from `a` to `b`, if they are adjacent at the same
+    /// resolution.
+    pub fn between(a: CellId, b: CellId) -> Option<DirectedEdge> {
+        if a.resolution() != b.resolution() {
+            return None;
+        }
+        let d = b.coord().sub(a.coord());
+        NEIGHBOR_OFFSETS
+            .iter()
+            .position(|&off| off == d)
+            .and_then(|i| DirectedEdge::new(a, i as u8))
+    }
+}
+
+/// The boundary edges of a cell set: every directed edge whose
+/// destination lies outside the set (sorted, deterministic). The count
+/// equals the region's perimeter in edge units.
+pub fn region_boundary_edges(cells: &[CellId]) -> Vec<DirectedEdge> {
+    let set: std::collections::HashSet<CellId> = cells.iter().copied().collect();
+    let mut out = Vec::new();
+    for &c in cells {
+        for e in DirectedEdge::edges_of(c) {
+            if !set.contains(&e.destination()) {
+                out.push(e);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coord::Axial;
+
+    fn cell(q: i32, r: i32) -> CellId {
+        CellId::pack(5, Axial::new(q, r))
+    }
+
+    #[test]
+    fn origin_destination_direction_round_trip() {
+        let c = cell(10, -4);
+        for d in 0..6u8 {
+            let e = DirectedEdge::new(c, d).unwrap();
+            assert_eq!(e.origin(), c);
+            assert_eq!(e.direction(), d);
+            assert_eq!(e.origin().coord().distance(&e.destination().coord()), 1);
+        }
+        assert!(DirectedEdge::new(c, 6).is_none());
+    }
+
+    #[test]
+    fn reversal_is_an_involution() {
+        let c = cell(3, 7);
+        for d in 0..6u8 {
+            let e = DirectedEdge::new(c, d).unwrap();
+            let r = e.reversed();
+            assert_eq!(r.origin(), e.destination());
+            assert_eq!(r.destination(), e.origin());
+            assert_eq!(r.reversed(), e);
+        }
+    }
+
+    #[test]
+    fn between_finds_adjacency() {
+        let a = cell(0, 0);
+        let b = cell(1, 0);
+        let e = DirectedEdge::between(a, b).unwrap();
+        assert_eq!(e.origin(), a);
+        assert_eq!(e.destination(), b);
+        // Non-adjacent and cross-resolution pairs fail.
+        assert!(DirectedEdge::between(a, cell(2, 0)).is_none());
+        assert!(DirectedEdge::between(a, CellId::pack(4, Axial::new(1, 0))).is_none());
+    }
+
+    #[test]
+    fn single_cell_boundary_has_six_edges() {
+        let edges = region_boundary_edges(&[cell(0, 0)]);
+        assert_eq!(edges.len(), 6);
+    }
+
+    #[test]
+    fn disk_boundary_perimeter() {
+        // A radius-k disk has 6(k+… the boundary cells are the ring at
+        // radius k; its outward edges number 6(2k+1)... verify against
+        // direct counting for k = 2: ring cells = 12, outward edges =
+        // 6·(k+1)+6·k = 30.
+        let cells: Vec<CellId> = Axial::ORIGIN
+            .disk(2)
+            .into_iter()
+            .map(|c| CellId::pack(5, c))
+            .collect();
+        let edges = region_boundary_edges(&cells);
+        assert_eq!(edges.len(), 30);
+        // Every boundary edge's origin is in the set, destination out.
+        let set: std::collections::HashSet<_> = cells.iter().copied().collect();
+        for e in &edges {
+            assert!(set.contains(&e.origin()));
+            assert!(!set.contains(&e.destination()));
+        }
+    }
+
+    #[test]
+    fn internal_edges_are_excluded() {
+        // Two adjacent cells: 10 boundary edges (12 minus the 2 shared).
+        let edges = region_boundary_edges(&[cell(0, 0), cell(1, 0)]);
+        assert_eq!(edges.len(), 10);
+    }
+}

@@ -1,0 +1,149 @@
+//! Exact aperture-7 hierarchy between grid resolutions.
+//!
+//! Hex lattices admit no aligned subdivision into hexes, but the
+//! Eisenstein integers `Z[ω]` (`ω = e^{iπ/3}`) contain the prime
+//! `α = 2 + ω` of norm 7: multiplying the lattice by `α` yields a
+//! sublattice of index 7, rotated by `atan2(√3/2, 2.5) ≈ 19.1°` — the
+//! same construction as H3's aperture-7 hierarchy and the classic
+//! Generalized Balanced Ternary. Each parent cell at resolution `k`
+//! owns exactly seven children at resolution `k+1`: the child whose
+//! center coincides with the scaled parent center, plus its six
+//! neighbours.
+//!
+//! All arithmetic is exact integer math — the hierarchy is a bijection
+//! by construction, which the property tests verify.
+
+use crate::coord::{round_frac, Axial};
+
+/// Number of children per parent cell (the aperture).
+pub const APERTURE: u32 = 7;
+
+/// The linear scale factor between consecutive resolutions (`√7`):
+/// child cell edge = parent edge / √7, so child area = parent area / 7.
+pub const SCALE_FACTOR: f64 = 2.645_751_311_064_590_7;
+
+/// Maps a parent cell's coordinates (resolution `k`) to the coordinates
+/// of its **center child** (resolution `k+1`).
+///
+/// This is Eisenstein multiplication by `α = 2 + ω`:
+/// `(Q + Rω)(2 + ω) = (2Q − R) + (Q + 3R)ω`.
+pub fn center_child(parent: &Axial) -> Axial {
+    Axial::new(2 * parent.q - parent.r, parent.q + 3 * parent.r)
+}
+
+/// All seven children of a parent cell, center child first, then its
+/// six neighbours counterclockwise.
+pub fn children(parent: &Axial) -> [Axial; 7] {
+    let c = center_child(parent);
+    let n = c.neighbors();
+    [c, n[0], n[1], n[2], n[3], n[4], n[5]]
+}
+
+/// Maps a child cell (resolution `k+1`) to its parent (resolution `k`).
+///
+/// Divides by `α` in `Z[ω]` and hex-rounds:
+/// `z·ᾱ/7 = ((3q + r) + (2r − q)ω)/7`. The center child and its six
+/// neighbours all round back to the same parent (maximum rounding error
+/// 3/7 < 1/2), making `parent ∘ children` the identity.
+pub fn parent(child: &Axial) -> Axial {
+    let qf = (3.0 * child.q as f64 + child.r as f64) / 7.0;
+    let rf = (2.0 * child.r as f64 - child.q as f64) / 7.0;
+    round_frac(qf, rf)
+}
+
+/// Ascends `levels` resolutions toward the root.
+pub fn ancestor(cell: &Axial, levels: u8) -> Axial {
+    let mut cur = *cell;
+    for _ in 0..levels {
+        cur = parent(&cur);
+    }
+    cur
+}
+
+/// Enumerates all descendants of `cell` that are `levels` resolutions
+/// finer (`7^levels` cells).
+pub fn descendants(cell: &Axial, levels: u8) -> Vec<Axial> {
+    let mut frontier = vec![*cell];
+    for _ in 0..levels {
+        let mut next = Vec::with_capacity(frontier.len() * 7);
+        for p in &frontier {
+            next.extend_from_slice(&children(p));
+        }
+        frontier = next;
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn center_child_parent_round_trip() {
+        for q in -10..10 {
+            for r in -10..10 {
+                let p = Axial::new(q, r);
+                assert_eq!(parent(&center_child(&p)), p);
+            }
+        }
+    }
+
+    #[test]
+    fn all_children_round_trip_to_parent() {
+        for q in -8..8 {
+            for r in -8..8 {
+                let p = Axial::new(q, r);
+                for c in children(&p) {
+                    assert_eq!(parent(&c), p, "child {c:?} of {p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn children_are_distinct() {
+        let p = Axial::new(3, -5);
+        let mut cs = children(&p).to_vec();
+        cs.sort();
+        cs.dedup();
+        assert_eq!(cs.len(), 7);
+    }
+
+    #[test]
+    fn every_fine_cell_has_exactly_one_parent_claiming_it() {
+        // Partition property: each fine cell must appear in the child
+        // set of exactly its computed parent.
+        for q in -15..15 {
+            for r in -15..15 {
+                let c = Axial::new(q, r);
+                let p = parent(&c);
+                assert!(
+                    children(&p).contains(&c),
+                    "cell {c:?} not among children of its parent {p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn descendants_count_is_power_of_seven() {
+        let p = Axial::new(1, 2);
+        assert_eq!(descendants(&p, 0).len(), 1);
+        assert_eq!(descendants(&p, 1).len(), 7);
+        assert_eq!(descendants(&p, 2).len(), 49);
+        assert_eq!(descendants(&p, 3).len(), 343);
+        // All distinct, and all trace back to p.
+        let mut d = descendants(&p, 3);
+        d.sort();
+        d.dedup();
+        assert_eq!(d.len(), 343);
+        for c in &d {
+            assert_eq!(ancestor(c, 3), p);
+        }
+    }
+
+    #[test]
+    fn scale_factor_squared_is_aperture() {
+        assert!((SCALE_FACTOR * SCALE_FACTOR - APERTURE as f64).abs() < 1e-12);
+    }
+}

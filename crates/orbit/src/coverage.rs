@@ -1,0 +1,172 @@
+//! Time-sampled coverage analysis of multi-shell constellations.
+//!
+//! The paper's "best case" scenario assumes the constellation provides
+//! full geographic coverage — every US cell has at least one satellite
+//! beam available at all times. This module verifies that premise by
+//! direct simulation: propagate every shell, and for each ground point
+//! and time sample count the satellites above the minimum elevation.
+//! The orbit-validate experiment (EXT-COV in DESIGN.md) reports the
+//! minimum and mean counts, and the `leo-bench` suite regenerates them.
+
+use crate::visibility;
+use crate::walker::WalkerShell;
+use leo_geomath::LatLng;
+
+/// Coverage statistics for one ground point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoverageStats {
+    /// Minimum satellites simultaneously in view across all samples.
+    pub min_in_view: u32,
+    /// Mean satellites in view.
+    pub mean_in_view: f64,
+    /// Fraction of samples with at least one satellite in view.
+    pub availability: f64,
+}
+
+/// Configuration for a coverage run.
+#[derive(Debug, Clone, Copy)]
+pub struct CoverageConfig {
+    /// Minimum usable elevation angle, degrees.
+    pub min_elevation_deg: f64,
+    /// Number of time samples.
+    pub time_samples: u32,
+    /// Total simulated span, seconds.
+    pub span_s: f64,
+}
+
+impl Default for CoverageConfig {
+    fn default() -> Self {
+        CoverageConfig {
+            min_elevation_deg: visibility::STARLINK_MIN_ELEVATION_DEG,
+            time_samples: 64,
+            span_s: 5731.0, // one 550 km period, a prime-ish number of seconds
+        }
+    }
+}
+
+/// Computes coverage statistics for each ground point under the union
+/// of `shells`.
+///
+/// Complexity is `O(time_samples × satellites × points)` with a cheap
+/// latitude-band prefilter; a full 8k-satellite constellation over a
+/// handful of points runs in well under a second.
+pub fn coverage(
+    shells: &[WalkerShell],
+    points: &[LatLng],
+    cfg: &CoverageConfig,
+) -> Vec<CoverageStats> {
+    assert!(cfg.time_samples > 0, "need at least one sample");
+    let sats: Vec<_> = shells.iter().flat_map(|s| s.satellites()).collect();
+    let mut totals = vec![(u32::MAX, 0u64, 0u64); points.len()];
+    for k in 0..cfg.time_samples {
+        let t = cfg.span_s * k as f64 / cfg.time_samples as f64;
+        // Sub-satellite points at this instant, with per-sat cap angle.
+        let ssps: Vec<(LatLng, f64)> = sats
+            .iter()
+            .map(|s| {
+                (
+                    s.orbit.subsatellite(t),
+                    visibility::coverage_cap_angle_rad(
+                        s.orbit.altitude_km(),
+                        cfg.min_elevation_deg,
+                    ),
+                )
+            })
+            .collect();
+        for (pi, p) in points.iter().enumerate() {
+            let mut count = 0u32;
+            for (ssp, lambda) in &ssps {
+                // Latitude prefilter: |Δlat| alone can exceed λ.
+                if (ssp.lat_deg() - p.lat_deg()).abs().to_radians() > *lambda {
+                    continue;
+                }
+                if p.central_angle_rad(ssp) <= *lambda {
+                    count += 1;
+                }
+            }
+            let entry = &mut totals[pi];
+            entry.0 = entry.0.min(count);
+            entry.1 += count as u64;
+            if count > 0 {
+                entry.2 += 1;
+            }
+        }
+    }
+    totals
+        .into_iter()
+        .map(|(min_in_view, sum, avail)| CoverageStats {
+            min_in_view,
+            mean_in_view: sum as f64 / cfg.time_samples as f64,
+            availability: avail as f64 / cfg.time_samples as f64,
+        })
+        .collect()
+}
+
+/// Expected mean number of satellites in view at a latitude, from the
+/// analytic density model: `N_effective = Σ_shells N_s · d(φ, i_s) ·
+/// cap_area / A_earth`. Used to cross-check the simulation.
+pub fn expected_in_view(shells: &[WalkerShell], lat_deg: f64, min_elevation_deg: f64) -> f64 {
+    shells
+        .iter()
+        .filter_map(|s| {
+            let d = crate::density::density_factor(lat_deg, s.inclination_deg)?;
+            let cap = visibility::coverage_cap_area_km2(s.altitude_km, min_elevation_deg);
+            Some(s.total() as f64 * d * cap / leo_geomath::EARTH_SURFACE_AREA_KM2)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen1_shell_covers_conus_continuously() {
+        let shells = [WalkerShell::starlink_gen1_shell1()];
+        let points = [
+            LatLng::new(39.5, -98.35),
+            LatLng::new(47.6, -122.33),
+            LatLng::new(25.77, -80.19),
+            LatLng::new(37.0, -86.0),
+        ];
+        let stats = coverage(&shells, &points, &CoverageConfig::default());
+        for (p, s) in points.iter().zip(&stats) {
+            assert!(s.availability == 1.0, "gap at {p}: {s:?}");
+            assert!(s.min_in_view >= 1, "no coverage floor at {p}: {s:?}");
+        }
+    }
+
+    #[test]
+    fn simulated_mean_matches_analytic_expectation() {
+        let shells = [WalkerShell::starlink_gen1_shell1()];
+        let p = LatLng::new(39.5, -98.35);
+        let cfg = CoverageConfig {
+            time_samples: 128,
+            ..CoverageConfig::default()
+        };
+        let sim = coverage(&shells, &[p], &cfg)[0].mean_in_view;
+        let analytic = expected_in_view(&shells, 39.5, cfg.min_elevation_deg);
+        let rel = (sim - analytic).abs() / analytic;
+        assert!(rel < 0.15, "sim {sim} vs analytic {analytic}");
+    }
+
+    #[test]
+    fn no_coverage_far_above_inclination() {
+        let shells = [WalkerShell::new(550.0, 53.0, 12, 12, 5)];
+        let barrow = LatLng::new(71.3, -156.8); // Utqiagvik, Alaska
+        let stats = coverage(&shells, &[barrow], &CoverageConfig::default());
+        assert_eq!(stats[0].mean_in_view, 0.0);
+        assert_eq!(stats[0].availability, 0.0);
+    }
+
+    #[test]
+    fn more_satellites_mean_more_in_view() {
+        let small = [WalkerShell::new(550.0, 53.0, 24, 11, 5)];
+        let big = [WalkerShell::new(550.0, 53.0, 72, 22, 17)];
+        let p = [LatLng::new(40.0, -100.0)];
+        let cfg = CoverageConfig::default();
+        let a = coverage(&small, &p, &cfg)[0].mean_in_view;
+        let b = coverage(&big, &p, &cfg)[0].mean_in_view;
+        assert!(b > 2.0 * a, "small {a} big {b}");
+    }
+}

@@ -1,0 +1,129 @@
+//! Doppler shift on user↔satellite links.
+//!
+//! A 550 km satellite crosses the sky at ~7.6 km/s; the radial
+//! component of that velocity Doppler-shifts the Ku/Ka carriers by up
+//! to ±300 kHz — one of the classic LEO-vs-GEO physical differences
+//! (GEO links see essentially none), and part of why LEO modems must
+//! track frequency continuously. Not load-bearing for the capacity
+//! model, but part of a complete link-geometry substrate and used by
+//! the docs' worked examples.
+
+use crate::propagate::CircularOrbit;
+use leo_geomath::constants::EARTH_RADIUS_KM;
+use leo_geomath::LatLng;
+
+/// Speed of light, km/s.
+const C_KM_S: f64 = 299_792.458;
+
+/// Radial (range-rate) velocity of the satellite relative to a fixed
+/// ground point, km/s, at `t_s`. Positive = receding.
+///
+/// Accounts for the ground point's own rotation with the Earth by
+/// differencing the range over an infinitesimal interval in the
+/// rotating frame (central finite difference; the range function is
+/// smooth, so 1 ms steps give ~nm/s accuracy).
+pub fn range_rate_km_s(orbit: &CircularOrbit, ground: &LatLng, t_s: f64) -> f64 {
+    let ground_ecef = ground.to_unit_vec() * EARTH_RADIUS_KM;
+    let range = |t: f64| {
+        let sat = crate::frames::eci_to_ecef(orbit.position_eci(t), t);
+        (sat - ground_ecef).norm()
+    };
+    let h = 1e-3;
+    (range(t_s + h) - range(t_s - h)) / (2.0 * h)
+}
+
+/// Doppler shift (Hz) observed on a carrier of `carrier_ghz` GHz.
+/// Positive when the satellite approaches (received frequency is
+/// higher).
+pub fn doppler_shift_hz(
+    orbit: &CircularOrbit,
+    ground: &LatLng,
+    t_s: f64,
+    carrier_ghz: f64,
+) -> f64 {
+    -range_rate_km_s(orbit, ground, t_s) / C_KM_S * carrier_ghz * 1e9
+}
+
+/// Maximum |Doppler| (Hz) over one pass/orbit for the given geometry,
+/// sampled at `samples` instants across a full period.
+pub fn max_doppler_hz(
+    orbit: &CircularOrbit,
+    ground: &LatLng,
+    carrier_ghz: f64,
+    samples: u32,
+) -> f64 {
+    let period = orbit.period_s();
+    (0..samples)
+        .map(|k| doppler_shift_hz(orbit, ground, period * k as f64 / samples as f64, carrier_ghz).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn orbit() -> CircularOrbit {
+        CircularOrbit::new(550.0, 53.0, 0.0, 0.0)
+    }
+
+    #[test]
+    fn range_rate_is_bounded_by_orbital_speed() {
+        let o = orbit();
+        let g = LatLng::new(40.0, -100.0);
+        for k in 0..40 {
+            let t = o.period_s() * k as f64 / 40.0;
+            let rr = range_rate_km_s(&o, &g, t);
+            assert!(rr.abs() <= o.speed_km_s() + 0.5, "t={t} rr={rr}");
+        }
+    }
+
+    #[test]
+    fn doppler_magnitude_at_ku_band() {
+        // Textbook figure: ±~250-300 kHz at 12 GHz for 550 km LEO.
+        let o = orbit();
+        let g = LatLng::new(10.0, 5.0); // near the ground track
+        let max = max_doppler_hz(&o, &g, 12.0, 500);
+        assert!(
+            (150e3..350e3).contains(&max),
+            "max Doppler {max} Hz"
+        );
+    }
+
+    #[test]
+    fn doppler_sign_flips_across_closest_approach() {
+        // Find the pass minimum range numerically, then check signs.
+        let o = orbit();
+        let g = LatLng::new(0.0, 10.0);
+        let ground_ecef = g.to_unit_vec() * EARTH_RADIUS_KM;
+        let range = |t: f64| {
+            (crate::frames::eci_to_ecef(o.position_eci(t), t) - ground_ecef).norm()
+        };
+        // Scan the first quarter period for the minimum.
+        let mut tmin = 0.0;
+        let mut best = f64::INFINITY;
+        for k in 0..2000 {
+            let t = o.period_s() * k as f64 / 8000.0;
+            let r = range(t);
+            if r < best {
+                best = r;
+                tmin = t;
+            }
+        }
+        let before = doppler_shift_hz(&o, &g, tmin - 60.0, 12.0);
+        let after = doppler_shift_hz(&o, &g, tmin + 60.0, 12.0);
+        assert!(before > 0.0, "approaching before TCA: {before}");
+        assert!(after < 0.0, "receding after TCA: {after}");
+        // At TCA itself, the shift is near zero.
+        let at = doppler_shift_hz(&o, &g, tmin, 12.0);
+        assert!(at.abs() < before.abs() / 5.0, "TCA shift {at}");
+    }
+
+    #[test]
+    fn doppler_scales_with_carrier() {
+        let o = orbit();
+        let g = LatLng::new(20.0, 0.0);
+        let at12 = doppler_shift_hz(&o, &g, 100.0, 12.0);
+        let at24 = doppler_shift_hz(&o, &g, 100.0, 24.0);
+        assert!((at24 - 2.0 * at12).abs() < 1.0);
+    }
+}

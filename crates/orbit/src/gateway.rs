@@ -1,0 +1,131 @@
+//! Ground gateways and satellite↔gateway connectivity.
+//!
+//! Starlink's second key task (paper §2.2) is "ensuring that each
+//! satellite is connected to a ground station at all times, either
+//! directly via wireless channel (i.e., in a bent-pipe configuration)
+//! or indirectly via inter-satellite link". This module provides the
+//! gateway side: a synthetic CONUS gateway fleet (SpaceX operates
+//! dozens of US gateway sites), visibility between satellites and
+//! gateways, and per-satellite bent-pipe feasibility at an instant.
+
+use crate::visibility;
+use leo_geomath::LatLng;
+
+/// Minimum elevation for gateway links (gateways use steerable dishes
+/// and a lower mask than user terminals).
+pub const GATEWAY_MIN_ELEVATION_DEG: f64 = 10.0;
+
+/// A ground gateway site.
+#[derive(Debug, Clone, Copy)]
+pub struct Gateway {
+    /// Site location.
+    pub location: LatLng,
+}
+
+/// A synthetic CONUS gateway fleet: a coarse grid of sites across the
+/// country, matching the rough density of SpaceX's published US gateway
+/// footprint (~40 sites).
+pub fn conus_gateways() -> Vec<Gateway> {
+    const SITES: &[(f64, f64)] = &[
+        (47.3, -119.5), (45.6, -122.9), (40.6, -122.4), (37.4, -121.9),
+        (34.9, -117.0), (33.6, -112.4), (32.3, -106.8), (31.8, -99.3),
+        (35.2, -101.7), (39.1, -108.3), (41.2, -112.0), (43.6, -116.2),
+        (46.8, -110.9), (44.1, -103.2), (41.1, -100.7), (38.0, -97.3),
+        (35.5, -97.5), (32.5, -93.7), (30.4, -91.1), (34.7, -86.6),
+        (33.4, -82.1), (28.1, -81.8), (30.5, -84.3), (35.8, -78.6),
+        (37.5, -77.4), (39.0, -76.8), (41.6, -72.7), (43.1, -70.8),
+        (44.5, -69.7), (42.7, -77.6), (41.0, -81.4), (39.9, -86.3),
+        (38.3, -85.8), (36.2, -86.7), (37.2, -93.3), (40.8, -96.7),
+        (43.5, -96.7), (46.9, -96.8), (45.1, -93.5), (42.0, -93.6),
+    ];
+    SITES
+        .iter()
+        .map(|&(lat, lng)| Gateway {
+            location: LatLng::new(lat, lng),
+        })
+        .collect()
+}
+
+/// Gateways visible from a satellite with sub-satellite point `ssp` at
+/// `altitude_km`, with the slant range (km) to each.
+pub fn visible_gateways(
+    gateways: &[Gateway],
+    ssp: &LatLng,
+    altitude_km: f64,
+) -> Vec<(usize, f64)> {
+    let lambda = visibility::coverage_cap_angle_rad(altitude_km, GATEWAY_MIN_ELEVATION_DEG);
+    let r = leo_geomath::EARTH_RADIUS_KM;
+    let a = r + altitude_km;
+    gateways
+        .iter()
+        .enumerate()
+        .filter_map(|(i, g)| {
+            let angle = ssp.central_angle_rad(&g.location);
+            if angle > lambda {
+                return None;
+            }
+            // Slant range via the law of cosines on the central angle.
+            let range = (r * r + a * a - 2.0 * r * a * angle.cos()).sqrt();
+            Some((i, range))
+        })
+        .collect()
+}
+
+/// The nearest visible gateway, if any.
+pub fn nearest_gateway(
+    gateways: &[Gateway],
+    ssp: &LatLng,
+    altitude_km: f64,
+) -> Option<(usize, f64)> {
+    visible_gateways(gateways, ssp, altitude_km)
+        .into_iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_size_is_realistic() {
+        assert_eq!(conus_gateways().len(), 40);
+    }
+
+    #[test]
+    fn satellite_over_kansas_sees_gateways() {
+        let gws = conus_gateways();
+        let vis = visible_gateways(&gws, &LatLng::new(39.0, -98.0), 550.0);
+        assert!(vis.len() >= 3, "only {} gateways visible", vis.len());
+        // All ranges are between the altitude and the horizon range.
+        for (_, range) in &vis {
+            assert!(*range >= 550.0 && *range < 2600.0, "range {range}");
+        }
+    }
+
+    #[test]
+    fn satellite_over_mid_atlantic_sees_none() {
+        let gws = conus_gateways();
+        let vis = visible_gateways(&gws, &LatLng::new(35.0, -50.0), 550.0);
+        assert!(vis.is_empty());
+    }
+
+    #[test]
+    fn nearest_is_minimal() {
+        let gws = conus_gateways();
+        let ssp = LatLng::new(40.0, -100.0);
+        let all = visible_gateways(&gws, &ssp, 550.0);
+        let nearest = nearest_gateway(&gws, &ssp, 550.0).unwrap();
+        for (_, range) in all {
+            assert!(nearest.1 <= range + 1e-9);
+        }
+    }
+
+    #[test]
+    fn overhead_gateway_range_is_altitude() {
+        let gws = vec![Gateway {
+            location: LatLng::new(40.0, -100.0),
+        }];
+        let (_, range) = nearest_gateway(&gws, &LatLng::new(40.0, -100.0), 550.0).unwrap();
+        assert!((range - 550.0).abs() < 1e-6);
+    }
+}

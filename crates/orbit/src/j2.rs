@@ -1,0 +1,115 @@
+//! J2 secular perturbations.
+//!
+//! The Earth's oblateness (the J2 zonal harmonic) precesses an orbit's
+//! ascending node and argument of perigee at well-known secular rates.
+//! These drifts do not change the *statistical* geometry the capacity
+//! model consumes — every plane drifts together, preserving the Walker
+//! symmetry — but they matter for two checks this reproduction makes:
+//!
+//! * Starlink's 97.6°-inclined shells are **sun-synchronous**: their
+//!   nodal precession matches the Sun's apparent motion (~0.9856°/day),
+//!   which pins the local solar time of their coverage. The preset
+//!   shells must actually satisfy that, or they're mis-modeled.
+//! * Differential drift between shells at different altitudes and
+//!   inclinations is what prevents long-term inter-shell phasing — the
+//!   reason the sizing model treats shells independently.
+
+use leo_geomath::constants::{EARTH_MU_KM3_S2, EARTH_RADIUS_KM};
+
+/// Earth's J2 zonal harmonic coefficient (WGS84).
+pub const J2: f64 = 1.082_626_68e-3;
+
+/// Mean solar nodal rate required for sun-synchronism, degrees per day
+/// (360° per tropical year).
+pub const SUN_SYNCHRONOUS_RATE_DEG_DAY: f64 = 0.985_647_4;
+
+/// Secular rate of the right ascension of the ascending node for a
+/// circular orbit, degrees per day:
+/// `Ω̇ = −(3/2) J2 (R/p)² n cos i`.
+pub fn raan_drift_deg_per_day(altitude_km: f64, inclination_deg: f64) -> f64 {
+    let a = EARTH_RADIUS_KM + altitude_km;
+    let n = (EARTH_MU_KM3_S2 / (a * a * a)).sqrt(); // rad/s
+    let rate = -1.5 * J2 * (EARTH_RADIUS_KM / a).powi(2) * n * inclination_deg.to_radians().cos();
+    rate.to_degrees() * 86_400.0
+}
+
+/// Secular rate of the argument of perigee, degrees per day:
+/// `ω̇ = (3/4) J2 (R/p)² n (5 cos²i − 1)`.
+pub fn arg_perigee_drift_deg_per_day(altitude_km: f64, inclination_deg: f64) -> f64 {
+    let a = EARTH_RADIUS_KM + altitude_km;
+    let n = (EARTH_MU_KM3_S2 / (a * a * a)).sqrt();
+    let ci = inclination_deg.to_radians().cos();
+    let rate = 0.75 * J2 * (EARTH_RADIUS_KM / a).powi(2) * n * (5.0 * ci * ci - 1.0);
+    rate.to_degrees() * 86_400.0
+}
+
+/// The inclination (degrees) making a circular orbit at `altitude_km`
+/// sun-synchronous, or `None` if no such inclination exists at that
+/// altitude.
+pub fn sun_synchronous_inclination_deg(altitude_km: f64) -> Option<f64> {
+    let a = EARTH_RADIUS_KM + altitude_km;
+    let n = (EARTH_MU_KM3_S2 / (a * a * a)).sqrt();
+    let target = SUN_SYNCHRONOUS_RATE_DEG_DAY.to_radians() / 86_400.0;
+    let cos_i = -target / (1.5 * J2 * (EARTH_RADIUS_KM / a).powi(2) * n);
+    if cos_i.abs() > 1.0 {
+        return None;
+    }
+    Some(cos_i.acos().to_degrees())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starlink_53_degree_shell_regresses_west() {
+        // Prograde orbits regress: Ω̇ < 0. 550 km / 53° is ≈ −4.5°/day
+        // (the textbook value for Starlink's workhorse shell).
+        let rate = raan_drift_deg_per_day(550.0, 53.0);
+        assert!(rate < 0.0);
+        assert!((rate + 4.5).abs() < 0.1, "rate {rate}");
+    }
+
+    #[test]
+    fn polar_orbit_has_no_nodal_drift() {
+        let rate = raan_drift_deg_per_day(550.0, 90.0);
+        assert!(rate.abs() < 1e-9);
+    }
+
+    #[test]
+    fn starlink_sso_shells_are_actually_sun_synchronous() {
+        // The 560–570 km shells at 97.6° in the Gen1 filing: the
+        // required SSO inclination at those altitudes is ~97.6°–97.7°.
+        for alt in [560.0, 570.0] {
+            let i = sun_synchronous_inclination_deg(alt).unwrap();
+            assert!((i - 97.65).abs() < 0.15, "alt {alt}: SSO inclination {i}");
+            let rate = raan_drift_deg_per_day(alt, 97.6);
+            assert!(
+                (rate - SUN_SYNCHRONOUS_RATE_DEG_DAY).abs() < 0.02,
+                "alt {alt}: drift {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn critical_inclination_kills_perigee_drift() {
+        // 5 cos²i = 1 ⇒ i ≈ 63.43°.
+        let rate = arg_perigee_drift_deg_per_day(550.0, 63.434_948_8);
+        assert!(rate.abs() < 1e-6, "rate {rate}");
+        // Below critical, perigee advances; above, it regresses.
+        assert!(arg_perigee_drift_deg_per_day(550.0, 53.0) > 0.0);
+        assert!(arg_perigee_drift_deg_per_day(550.0, 80.0) < 0.0);
+    }
+
+    #[test]
+    fn no_sso_at_absurd_altitude() {
+        assert!(sun_synchronous_inclination_deg(50_000.0).is_none());
+    }
+
+    #[test]
+    fn drift_weakens_with_altitude() {
+        let low = raan_drift_deg_per_day(350.0, 53.0).abs();
+        let high = raan_drift_deg_per_day(1200.0, 53.0).abs();
+        assert!(low > high);
+    }
+}

@@ -1,0 +1,183 @@
+//! Satellite pass prediction for a ground observer.
+//!
+//! The operational complement to the statistical coverage model: when
+//! exactly is a given satellite usable from a given point? A pass is a
+//! maximal interval with elevation above the mask; the predictor scans
+//! at coarse resolution and refines the rise/set epochs by bisection to
+//! sub-second accuracy — the standard structure of any tracking tool.
+
+use crate::frames;
+use crate::propagate::CircularOrbit;
+use crate::visibility::elevation_angle_deg;
+use leo_geomath::LatLng;
+
+/// One predicted pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pass {
+    /// Acquisition of signal (rise above the mask), seconds past epoch.
+    pub aos_s: f64,
+    /// Loss of signal (set below the mask), seconds past epoch.
+    pub los_s: f64,
+    /// Maximum elevation during the pass, degrees.
+    pub max_elevation_deg: f64,
+}
+
+impl Pass {
+    /// Pass duration, seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.los_s - self.aos_s
+    }
+}
+
+fn elevation_at(orbit: &CircularOrbit, ground: &LatLng, t: f64) -> f64 {
+    let ecef = frames::eci_to_ecef(orbit.position_eci(t), t);
+    elevation_angle_deg(ground, ecef)
+}
+
+/// Bisection refinement of a mask crossing inside `[lo, hi]` where the
+/// elevation-minus-mask function changes sign.
+fn refine_crossing(
+    orbit: &CircularOrbit,
+    ground: &LatLng,
+    mask_deg: f64,
+    mut lo: f64,
+    mut hi: f64,
+) -> f64 {
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        let above_lo = elevation_at(orbit, ground, lo) >= mask_deg;
+        let above_mid = elevation_at(orbit, ground, mid) >= mask_deg;
+        if above_lo == above_mid {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-3 {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Predicts all passes of `orbit` over `ground` within `[0, window_s]`,
+/// for terminals with the given elevation mask. `scan_step_s` bounds
+/// the shortest detectable pass (30 s catches every LEO pass above a
+/// 25° mask, which lasts minutes).
+pub fn predict_passes(
+    orbit: &CircularOrbit,
+    ground: &LatLng,
+    mask_deg: f64,
+    window_s: f64,
+    scan_step_s: f64,
+) -> Vec<Pass> {
+    assert!(scan_step_s > 0.0 && window_s > scan_step_s);
+    let steps = (window_s / scan_step_s) as usize;
+    let mut passes = Vec::new();
+    let mut rise: Option<f64> = None;
+    let mut max_elev = f64::MIN;
+    let mut prev_above = elevation_at(orbit, ground, 0.0) >= mask_deg;
+    if prev_above {
+        rise = Some(0.0);
+        max_elev = elevation_at(orbit, ground, 0.0);
+    }
+    for k in 1..=steps {
+        let t = k as f64 * scan_step_s;
+        let e = elevation_at(orbit, ground, t);
+        let above = e >= mask_deg;
+        if above {
+            max_elev = max_elev.max(e);
+        }
+        match (prev_above, above) {
+            (false, true) => {
+                rise = Some(refine_crossing(orbit, ground, mask_deg, t - scan_step_s, t));
+                max_elev = e;
+            }
+            (true, false) => {
+                let los = refine_crossing(orbit, ground, mask_deg, t - scan_step_s, t);
+                if let Some(aos) = rise.take() {
+                    passes.push(Pass {
+                        aos_s: aos,
+                        los_s: los,
+                        max_elevation_deg: max_elev,
+                    });
+                }
+            }
+            _ => {}
+        }
+        prev_above = above;
+    }
+    // A pass still in progress at the window edge is truncated there.
+    if let Some(aos) = rise {
+        passes.push(Pass {
+            aos_s: aos,
+            los_s: window_s,
+            max_elevation_deg: max_elev,
+        });
+    }
+    passes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn orbit() -> CircularOrbit {
+        CircularOrbit::new(550.0, 53.0, 0.0, 0.0)
+    }
+
+    #[test]
+    fn passes_have_consistent_structure() {
+        let o = orbit();
+        let g = LatLng::new(40.0, -100.0);
+        let passes = predict_passes(&o, &g, 25.0, 86_400.0, 20.0);
+        assert!(!passes.is_empty(), "a day should contain passes");
+        for p in &passes {
+            assert!(p.los_s > p.aos_s);
+            assert!(p.max_elevation_deg >= 25.0);
+            // Elevation at refined AOS/LOS is at the mask (±0.05°),
+            // unless truncated at the window edge.
+            if p.aos_s > 1.0 {
+                let e = elevation_at(&o, &g, p.aos_s);
+                assert!((e - 25.0).abs() < 0.05, "AOS elevation {e}");
+            }
+        }
+        // Passes are disjoint and ordered.
+        for w in passes.windows(2) {
+            assert!(w[0].los_s < w[1].aos_s);
+        }
+    }
+
+    #[test]
+    fn pass_duration_is_minutes_not_hours() {
+        // A 550 km satellite pass above 25° lasts roughly 1–4 minutes.
+        let o = orbit();
+        let g = LatLng::new(40.0, -100.0);
+        for p in predict_passes(&o, &g, 25.0, 86_400.0, 15.0) {
+            if p.aos_s > 1.0 && p.los_s < 86_399.0 {
+                assert!(
+                    (20.0..400.0).contains(&p.duration_s()),
+                    "duration {}",
+                    p.duration_s()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lower_mask_means_more_and_longer_passes() {
+        let o = orbit();
+        let g = LatLng::new(40.0, -100.0);
+        let high = predict_passes(&o, &g, 40.0, 86_400.0, 15.0);
+        let low = predict_passes(&o, &g, 10.0, 86_400.0, 15.0);
+        assert!(low.len() >= high.len());
+        let total = |ps: &[Pass]| ps.iter().map(Pass::duration_s).sum::<f64>();
+        assert!(total(&low) > total(&high));
+    }
+
+    #[test]
+    fn no_passes_outside_the_reachable_band() {
+        let o = orbit();
+        let g = LatLng::new(75.0, -100.0);
+        assert!(predict_passes(&o, &g, 25.0, 86_400.0, 30.0).is_empty());
+    }
+}

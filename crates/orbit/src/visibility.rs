@@ -1,0 +1,141 @@
+//! Ground-to-satellite visibility geometry.
+//!
+//! A user terminal can use a satellite only above a minimum elevation
+//! angle (Starlink's FCC license requires ≥ 25° for user links). On the
+//! spherical Earth this bounds the *Earth central angle* between the
+//! ground point and the sub-satellite point:
+//!
+//! ```text
+//! λ(ε, h) = arccos( R/(R+h) · cos ε ) − ε
+//! ```
+//!
+//! so each satellite serves a spherical cap of angular radius `λ`. The
+//! capacity model uses this to verify that a satellite's *footprint*
+//! holds vastly more cells than its *beam count* can serve — the paper's
+//! premise that beams, not geometry, are the binding resource.
+
+use leo_geomath::constants::EARTH_RADIUS_KM;
+use leo_geomath::{LatLng, Vec3};
+
+/// Starlink's minimum user-terminal elevation angle, degrees.
+pub const STARLINK_MIN_ELEVATION_DEG: f64 = 25.0;
+
+/// Earth central angle (radians) of the coverage cap for a satellite at
+/// altitude `h` km serving terminals above elevation `elev_deg`.
+pub fn coverage_cap_angle_rad(altitude_km: f64, elev_deg: f64) -> f64 {
+    let eps = elev_deg.to_radians();
+    let ratio = EARTH_RADIUS_KM / (EARTH_RADIUS_KM + altitude_km);
+    (ratio * eps.cos()).clamp(-1.0, 1.0).acos() - eps
+}
+
+/// Ground area (km²) of the coverage cap.
+pub fn coverage_cap_area_km2(altitude_km: f64, elev_deg: f64) -> f64 {
+    leo_geomath::sphere::spherical_cap_area_km2(coverage_cap_angle_rad(altitude_km, elev_deg))
+}
+
+/// Elevation angle (degrees) of a satellite at ECEF position `sat_ecef`
+/// (km) as seen from ground point `ground` on the spherical Earth.
+/// Negative values mean the satellite is below the horizon.
+pub fn elevation_angle_deg(ground: &LatLng, sat_ecef: Vec3) -> f64 {
+    let gp = ground.to_unit_vec() * EARTH_RADIUS_KM;
+    let up = ground.to_unit_vec();
+    let los = sat_ecef - gp;
+    let n = los.norm();
+    if n < 1e-9 {
+        return 90.0;
+    }
+    (up.dot(los) / n).clamp(-1.0, 1.0).asin().to_degrees()
+}
+
+/// Slant range (km) from a ground point to a satellite at altitude `h`
+/// observed at elevation `elev_deg` (law of cosines on the triangle
+/// Earth-center / ground / satellite).
+pub fn slant_range_km(altitude_km: f64, elev_deg: f64) -> f64 {
+    let eps = elev_deg.to_radians();
+    let r = EARTH_RADIUS_KM;
+    let a = r + altitude_km;
+    // range = −R sin ε + sqrt(a² − R² cos² ε)
+    -r * eps.sin() + (a * a - (r * eps.cos()).powi(2)).sqrt()
+}
+
+/// Whether a satellite with sub-satellite point `ssp` at altitude `h`
+/// is visible from `ground` above `elev_deg` (central-angle test —
+/// cheaper than computing the elevation explicitly).
+pub fn in_view(ground: &LatLng, ssp: &LatLng, altitude_km: f64, elev_deg: f64) -> bool {
+    let lambda = coverage_cap_angle_rad(altitude_km, elev_deg);
+    ground.central_angle_rad(ssp) <= lambda
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_angle_at_zero_elevation_is_horizon_angle() {
+        // ε = 0: λ = arccos(R/(R+h)).
+        let h = 550.0;
+        let expect = (EARTH_RADIUS_KM / (EARTH_RADIUS_KM + h)).acos();
+        assert!((coverage_cap_angle_rad(h, 0.0) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn starlink_cap_matches_hand_calculation() {
+        // h=550, ε=25°: λ ≈ 8.45° (see DESIGN.md).
+        let lambda = coverage_cap_angle_rad(550.0, STARLINK_MIN_ELEVATION_DEG);
+        assert!((lambda.to_degrees() - 8.45).abs() < 0.05, "{}", lambda.to_degrees());
+        // Footprint ≈ 2.77e6 km², i.e. ~11k Starlink cells — beam count
+        // (24) binds long before footprint does.
+        let area = coverage_cap_area_km2(550.0, STARLINK_MIN_ELEVATION_DEG);
+        assert!((area / 1e6 - 2.77).abs() < 0.05, "area {area}");
+    }
+
+    #[test]
+    fn cap_shrinks_with_elevation() {
+        let mut prev = f64::INFINITY;
+        for e in [0.0, 10.0, 25.0, 40.0, 60.0, 80.0] {
+            let l = coverage_cap_angle_rad(550.0, e);
+            assert!(l < prev, "elev {e}");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn overhead_satellite_is_at_90_degrees() {
+        let g = LatLng::new(40.0, -100.0);
+        let sat = g.to_unit_vec() * (EARTH_RADIUS_KM + 550.0);
+        // asin is ill-conditioned at 1, so allow micro-degree slack.
+        assert!((elevation_angle_deg(&g, sat) - 90.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn elevation_at_cap_edge_matches_min_elevation() {
+        let g = LatLng::new(40.0, -100.0);
+        let lambda = coverage_cap_angle_rad(550.0, 25.0);
+        // Place a satellite whose SSP is exactly λ away.
+        let ssp = leo_geomath::destination(&g, 90.0, lambda * EARTH_RADIUS_KM);
+        let sat = ssp.to_unit_vec() * (EARTH_RADIUS_KM + 550.0);
+        let e = elevation_angle_deg(&g, sat);
+        assert!((e - 25.0).abs() < 0.01, "elevation {e}");
+        assert!(in_view(&g, &ssp, 550.0, 24.99));
+        assert!(!in_view(&g, &ssp, 550.0, 25.01));
+    }
+
+    #[test]
+    fn slant_range_bounds() {
+        // Overhead: range = h. At the horizon: range = sqrt(a² − R²).
+        assert!((slant_range_km(550.0, 90.0) - 550.0).abs() < 1e-9);
+        let horizon = ((EARTH_RADIUS_KM + 550.0).powi(2) - EARTH_RADIUS_KM.powi(2)).sqrt();
+        assert!((slant_range_km(550.0, 0.0) - horizon).abs() < 1e-9);
+        // 25° elevation at 550 km is ~1123 km slant range.
+        let r25 = slant_range_km(550.0, 25.0);
+        assert!((r25 - 1123.0).abs() < 10.0, "range {r25}");
+    }
+
+    #[test]
+    fn below_horizon_satellite_has_negative_elevation() {
+        let g = LatLng::new(0.0, 0.0);
+        let far = LatLng::new(0.0, 120.0);
+        let sat = far.to_unit_vec() * (EARTH_RADIUS_KM + 550.0);
+        assert!(elevation_angle_deg(&g, sat) < 0.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Minimal RFC-4180 CSV writing.
+
+use std::fmt::Write as _;
+
+/// Builds CSV text in memory; callers persist it with `std::fs`.
+#[derive(Debug, Clone, Default)]
+pub struct CsvWriter {
+    buf: String,
+    width: Option<usize>,
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+impl CsvWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes one record; all records must have the same field count.
+    pub fn record<S: AsRef<str>>(&mut self, fields: &[S]) -> &mut Self {
+        match self.width {
+            None => self.width = Some(fields.len()),
+            Some(w) => assert_eq!(w, fields.len(), "inconsistent CSV record width"),
+        }
+        let line: Vec<String> = fields.iter().map(|f| escape(f.as_ref())).collect();
+        let _ = writeln!(self.buf, "{}", line.join(","));
+        self
+    }
+
+    /// Writes a record of displayable values.
+    pub fn record_display<T: std::fmt::Display>(&mut self, fields: &[T]) -> &mut Self {
+        let strings: Vec<String> = fields.iter().map(|f| f.to_string()).collect();
+        self.record(&strings)
+    }
+
+    /// The CSV text so far.
+    pub fn finish(&self) -> &str {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_records() {
+        let mut w = CsvWriter::new();
+        w.record(&["a", "b"]).record(&["1", "2"]);
+        assert_eq!(w.finish(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn escapes_commas_quotes_newlines() {
+        let mut w = CsvWriter::new();
+        w.record(&["x,y", "he said \"hi\"", "line\nbreak"]);
+        assert_eq!(w.finish(), "\"x,y\",\"he said \"\"hi\"\"\",\"line\nbreak\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent CSV record width")]
+    fn width_mismatch_panics() {
+        let mut w = CsvWriter::new();
+        w.record(&["a", "b"]).record(&["only"]);
+    }
+
+    #[test]
+    fn display_records() {
+        let mut w = CsvWriter::new();
+        w.record_display(&[1.5, 2.0]);
+        assert_eq!(w.finish(), "1.5,2\n");
+    }
+}

@@ -1,0 +1,106 @@
+//! GitHub-flavored markdown tables.
+//!
+//! EXPERIMENTS.md-style artifacts want tables that render on a code
+//! host; this mirrors [`crate::table::TextTable`]'s API with markdown
+//! output and per-column alignment.
+
+/// Column alignment in the rendered markdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (`:---`).
+    Left,
+    /// Right-aligned (`---:`).
+    Right,
+    /// Centered (`:---:`).
+    Center,
+}
+
+/// A markdown table builder.
+#[derive(Debug, Clone)]
+pub struct MarkdownTable {
+    header: Vec<String>,
+    align: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl MarkdownTable {
+    /// Creates a table with headers, all columns left-aligned.
+    pub fn new(header: &[&str]) -> Self {
+        MarkdownTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            align: vec![Align::Left; header.len()],
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets one column's alignment.
+    pub fn align(&mut self, column: usize, align: Align) -> &mut Self {
+        self.align[column] = align;
+        self
+    }
+
+    /// Appends a row; the cell count must match the header.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders the table. Pipe characters in cells are escaped.
+    pub fn render(&self) -> String {
+        let esc = |s: &str| s.replace('|', "\\|");
+        let mut out = String::new();
+        out.push_str("| ");
+        out.push_str(&self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(" | "));
+        out.push_str(" |\n|");
+        for a in &self.align {
+            out.push_str(match a {
+                Align::Left => ":---|",
+                Align::Right => "---:|",
+                Align::Center => ":---:|",
+            });
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_basic_table() {
+        let mut t = MarkdownTable::new(&["name", "n"]);
+        t.align(1, Align::Right);
+        t.row(&["alpha".into(), "1".into()]);
+        let s = t.render();
+        assert_eq!(s, "| name | n |\n|:---|---:|\n| alpha | 1 |\n");
+    }
+
+    #[test]
+    fn escapes_pipes() {
+        let mut t = MarkdownTable::new(&["expr"]);
+        t.row(&["a|b".into()]);
+        assert!(t.render().contains("a\\|b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = MarkdownTable::new(&["a", "b"]);
+        t.row(&["only".into()]);
+    }
+
+    #[test]
+    fn center_alignment_marker() {
+        let mut t = MarkdownTable::new(&["x"]);
+        t.align(0, Align::Center);
+        assert!(t.render().contains("|:---:|"));
+    }
+}

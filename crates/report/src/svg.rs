@@ -1,0 +1,185 @@
+//! A tiny SVG document builder.
+//!
+//! Just enough of SVG to draw the paper's figures: rectangles, lines,
+//! polylines, circles, and text, with a fixed coordinate system. All
+//! attribute values are numeric or from internal palettes, so no
+//! escaping machinery is needed beyond text content.
+
+use std::fmt::Write as _;
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct SvgDoc {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+/// Escapes text content.
+fn esc(text: &str) -> String {
+    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+impl SvgDoc {
+    /// Creates a document of the given pixel size with a white
+    /// background.
+    pub fn new(width: f64, height: f64) -> Self {
+        let mut doc = SvgDoc {
+            width,
+            height,
+            body: String::new(),
+        };
+        doc.rect(0.0, 0.0, width, height, "#ffffff", None);
+        doc
+    }
+
+    /// Document width, px.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Document height, px.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// A filled (and optionally stroked) rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, stroke: Option<&str>) {
+        let s = stroke
+            .map(|s| format!(" stroke=\"{s}\" stroke-width=\"1\""))
+            .unwrap_or_default();
+        let _ = writeln!(
+            self.body,
+            "<rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{w:.2}\" height=\"{h:.2}\" fill=\"{fill}\"{s}/>"
+        );
+    }
+
+    /// A line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = writeln!(
+            self.body,
+            "<line x1=\"{x1:.2}\" y1=\"{y1:.2}\" x2=\"{x2:.2}\" y2=\"{y2:.2}\" stroke=\"{stroke}\" stroke-width=\"{width}\"/>"
+        );
+    }
+
+    /// An unfilled polyline through the given points.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) {
+        if points.len() < 2 {
+            return;
+        }
+        let pts: Vec<String> = points.iter().map(|(x, y)| format!("{x:.2},{y:.2}")).collect();
+        let _ = writeln!(
+            self.body,
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{stroke}\" stroke-width=\"{width}\"/>",
+            pts.join(" ")
+        );
+    }
+
+    /// A filled circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str) {
+        let _ = writeln!(
+            self.body,
+            "<circle cx=\"{cx:.2}\" cy=\"{cy:.2}\" r=\"{r:.2}\" fill=\"{fill}\"/>"
+        );
+    }
+
+    /// Text with an anchor of `start`, `middle`, or `end`.
+    pub fn text(&mut self, x: f64, y: f64, content: &str, size: f64, anchor: &str) {
+        let _ = writeln!(
+            self.body,
+            "<text x=\"{x:.2}\" y=\"{y:.2}\" font-size=\"{size}\" font-family=\"sans-serif\" text-anchor=\"{anchor}\">{}</text>",
+            esc(content)
+        );
+    }
+
+    /// Vertical text (rotated −90°), for y-axis labels.
+    pub fn vtext(&mut self, x: f64, y: f64, content: &str, size: f64) {
+        let _ = writeln!(
+            self.body,
+            "<text x=\"{x:.2}\" y=\"{y:.2}\" font-size=\"{size}\" font-family=\"sans-serif\" text-anchor=\"middle\" transform=\"rotate(-90 {x:.2} {y:.2})\">{}</text>",
+            esc(content)
+        );
+    }
+
+    /// Serializes the document.
+    pub fn finish(&self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+}
+
+/// The default series palette (color-blind-safe Okabe–Ito subset).
+pub const PALETTE: [&str; 6] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9",
+];
+
+/// Maps `t ∈ [0,1]` to a perceptually reasonable blue→yellow ramp for
+/// heatmaps (a compact viridis-like approximation).
+pub fn ramp_color(t: f64) -> String {
+    let t = t.clamp(0.0, 1.0);
+    // Piecewise-linear through viridis anchor colors.
+    const ANCHORS: [(f64, (u8, u8, u8)); 5] = [
+        (0.00, (68, 1, 84)),
+        (0.25, (59, 82, 139)),
+        (0.50, (33, 145, 140)),
+        (0.75, (94, 201, 98)),
+        (1.00, (253, 231, 37)),
+    ];
+    let mut lo = ANCHORS[0];
+    let mut hi = ANCHORS[4];
+    for w in ANCHORS.windows(2) {
+        if t >= w[0].0 && t <= w[1].0 {
+            lo = w[0];
+            hi = w[1];
+            break;
+        }
+    }
+    let f = if hi.0 > lo.0 { (t - lo.0) / (hi.0 - lo.0) } else { 0.0 };
+    let mix = |a: u8, b: u8| -> u8 { (a as f64 + f * (b as f64 - a as f64)).round() as u8 };
+    format!(
+        "#{:02x}{:02x}{:02x}",
+        mix(lo.1 .0, hi.1 .0),
+        mix(lo.1 .1, hi.1 .1),
+        mix(lo.1 .2, hi.1 .2)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_structure() {
+        let mut d = SvgDoc::new(100.0, 50.0);
+        d.line(0.0, 0.0, 10.0, 10.0, "#000000", 1.0);
+        d.text(5.0, 5.0, "hi <&>", 10.0, "middle");
+        let s = d.finish();
+        assert!(s.starts_with("<svg"));
+        assert!(s.trim_end().ends_with("</svg>"));
+        assert!(s.contains("hi &lt;&amp;&gt;"));
+        assert!(s.contains("viewBox=\"0 0 100 50\""));
+    }
+
+    #[test]
+    fn polyline_requires_two_points() {
+        let mut d = SvgDoc::new(10.0, 10.0);
+        d.polyline(&[(1.0, 1.0)], "#000", 1.0);
+        assert!(!d.finish().contains("polyline"));
+        d.polyline(&[(1.0, 1.0), (2.0, 2.0)], "#000", 1.0);
+        assert!(d.finish().contains("polyline"));
+    }
+
+    #[test]
+    fn ramp_endpoints_and_monotone_green() {
+        assert_eq!(ramp_color(0.0), "#440154");
+        assert_eq!(ramp_color(1.0), "#fde725");
+        // Green channel increases along the ramp.
+        let g = |t: f64| u8::from_str_radix(&ramp_color(t)[3..5], 16).unwrap();
+        assert!(g(0.0) < g(0.5) && g(0.5) < g(1.0));
+        // Out-of-range clamps.
+        assert_eq!(ramp_color(-1.0), ramp_color(0.0));
+        assert_eq!(ramp_color(2.0), ramp_color(1.0));
+    }
+}

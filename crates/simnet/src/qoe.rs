@@ -1,0 +1,174 @@
+//! Service-quality metrics versus oversubscription (EXT-QOE).
+//!
+//! The experiment the paper implies but does not run: put a cell at
+//! oversubscription ratios between the FCC benchmark (20:1) and the
+//! peak-cell requirement (35:1) and measure what subscribers actually
+//! experience during the busy hour.
+
+use crate::sim::{CellSim, FlowRecord, SimConfig};
+
+/// Busy-hour service quality at one oversubscription ratio.
+#[derive(Debug, Clone)]
+pub struct QoeReport {
+    /// The oversubscription ratio simulated.
+    pub oversub: f64,
+    /// Subscribers in the cell.
+    pub subscribers: u64,
+    /// Completed flows measured.
+    pub flows: usize,
+    /// Mean flow throughput, Mbps.
+    pub mean_mbps: f64,
+    /// Median flow throughput, Mbps.
+    pub median_mbps: f64,
+    /// 10th-percentile flow throughput, Mbps.
+    pub p10_mbps: f64,
+    /// Fraction of flows that ran at ≥ 95 % of the plan rate — i.e.
+    /// subscribers who actually received the broadband they bought.
+    pub full_speed_fraction: f64,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// Summarizes a flow trace into a [`QoeReport`].
+pub fn summarize(oversub: f64, cfg: &SimConfig, records: &[FlowRecord]) -> QoeReport {
+    let mut tputs: Vec<f64> = records.iter().map(FlowRecord::throughput_mbps).collect();
+    tputs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = tputs.len();
+    let mean = if n == 0 {
+        0.0
+    } else {
+        tputs.iter().sum::<f64>() / n as f64
+    };
+    let full = if n == 0 {
+        0.0
+    } else {
+        tputs
+            .iter()
+            .filter(|&&t| t >= 0.95 * cfg.plan_rate_mbps)
+            .count() as f64
+            / n as f64
+    };
+    QoeReport {
+        oversub,
+        subscribers: cfg.subscribers,
+        flows: n,
+        mean_mbps: mean,
+        median_mbps: percentile(&tputs, 0.5),
+        p10_mbps: percentile(&tputs, 0.1),
+        full_speed_fraction: full,
+    }
+}
+
+/// Runs the busy-hour experiment at each oversubscription ratio over a
+/// cell with `capacity_gbps` of downlink. The paper's reference points
+/// are {5, 10, 20, 35}.
+pub fn busy_hour_experiment(capacity_gbps: f64, oversubs: &[f64], seed: u64) -> Vec<QoeReport> {
+    oversubs
+        .iter()
+        .map(|&rho| {
+            let cfg = SimConfig::oversubscribed_cell(capacity_gbps, rho, seed);
+            let records = CellSim::new(cfg.clone()).run();
+            summarize(rho, &cfg, &records)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_degrades_monotonically_with_oversubscription() {
+        let reports = busy_hour_experiment(0.5, &[5.0, 10.0, 20.0, 35.0], 7);
+        assert_eq!(reports.len(), 4);
+        for w in reports.windows(2) {
+            assert!(
+                w[1].median_mbps <= w[0].median_mbps + 5.0,
+                "median rose: {} -> {}",
+                w[0].median_mbps,
+                w[1].median_mbps
+            );
+            assert!(w[1].full_speed_fraction <= w[0].full_speed_fraction + 0.05);
+        }
+    }
+
+    #[test]
+    fn paper_claim_35_to_1_denies_many_users_full_speed() {
+        // F1's qualitative claim: at 35:1, "many users … not receiving
+        // 100/20 service".
+        let r = &busy_hour_experiment(0.5, &[35.0], 7)[0];
+        assert!(
+            r.full_speed_fraction < 0.7,
+            "at 35:1, {} of flows still ran at full speed",
+            r.full_speed_fraction
+        );
+        assert!(r.mean_mbps < 95.0);
+    }
+
+    #[test]
+    fn light_oversubscription_is_fine() {
+        let r = &busy_hour_experiment(0.5, &[5.0], 7)[0];
+        assert!(
+            r.full_speed_fraction > 0.8,
+            "at 5:1 only {} at full speed",
+            r.full_speed_fraction
+        );
+    }
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let r = &busy_hour_experiment(0.5, &[20.0], 7)[0];
+        assert!(r.p10_mbps <= r.median_mbps);
+        assert!(r.median_mbps <= 100.0 + 1e-6);
+        assert!(r.flows > 100);
+        assert_eq!(r.subscribers, 100); // 0.5 Gbps × 20 / 100 Mbps
+    }
+
+    #[test]
+    fn empty_trace_summarizes_to_zeros() {
+        let cfg = SimConfig::oversubscribed_cell(0.5, 1.0, 1);
+        let r = summarize(1.0, &cfg, &[]);
+        assert_eq!(r.flows, 0);
+        assert_eq!(r.mean_mbps, 0.0);
+        assert_eq!(r.full_speed_fraction, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tail_weight {
+    use super::*;
+    use crate::sim::{CellSim, SimConfig};
+    use crate::workload::SizeDistribution;
+
+    /// At matched offered load, heavier-tailed flow sizes degrade the
+    /// experience of the *unlucky* flows (elephants monopolize the
+    /// queue for long stretches) even when the mean stays put — the
+    /// reason oversubscription planning can't rely on average load
+    /// alone.
+    #[test]
+    fn heavy_tails_hurt_the_low_percentiles() {
+        let mut base = SimConfig::oversubscribed_cell(0.5, 30.0, 31);
+        base.duration_h = 2.0;
+        let light = CellSim::new(base.clone()).run();
+        let mut heavy_cfg = base.clone();
+        heavy_cfg.sizes = SizeDistribution::heavy_tailed_default();
+        let heavy = CellSim::new(heavy_cfg.clone()).run();
+        let r_light = summarize(30.0, &base, &light);
+        let r_heavy = summarize(30.0, &heavy_cfg, &heavy);
+        // Medians are close (same load), but the heavy tail's p10 is
+        // no better and its full-speed fraction no higher.
+        assert!(
+            r_heavy.p10_mbps <= r_light.p10_mbps + 5.0,
+            "heavy p10 {} vs light {}",
+            r_heavy.p10_mbps,
+            r_light.p10_mbps
+        );
+        assert!(r_heavy.flows > 100 && r_light.flows > 100);
+    }
+}

@@ -1,0 +1,68 @@
+//! Busy-hour quality of experience under oversubscription.
+//!
+//! Simulates one Starlink cell's downlink as a processor-sharing queue
+//! across a full day and prints what subscribers experience hour by
+//! hour at the paper's two pivotal ratios: the FCC's 20:1 benchmark
+//! and the 35:1 the peak cell would need.
+//!
+//! ```sh
+//! cargo run --release --example busy_hour_qoe
+//! ```
+
+use starlink_divide_repro::simnet::qoe::summarize;
+use starlink_divide_repro::simnet::{CellSim, SimConfig};
+use starlink_divide_repro::report::TextTable;
+
+fn main() {
+    // One beam-group's share of a cell: 1 Gbps keeps the example quick
+    // while preserving the load ratios that matter.
+    let capacity_gbps = 1.0;
+    for oversub in [20.0, 35.0] {
+        let mut cfg = SimConfig::oversubscribed_cell(capacity_gbps, oversub, 7);
+        cfg.start_hour = 0.0;
+        cfg.duration_h = 24.0;
+        let records = CellSim::new(cfg.clone()).run();
+        println!(
+            "oversubscription {oversub}:1 — {} subscribers, {} flows completed over 24h",
+            cfg.subscribers,
+            records.len()
+        );
+        let mut t = TextTable::new(
+            format!("hourly service quality at {oversub}:1"),
+            &["hour", "flows", "median Mbps", "full-speed %"],
+        );
+        for hour in 0..24 {
+            let slice: Vec<_> = records
+                .iter()
+                .filter(|r| r.arrival_h as u32 % 24 == hour)
+                .cloned()
+                .collect();
+            if slice.is_empty() {
+                continue;
+            }
+            let q = summarize(oversub, &cfg, &slice);
+            t.row(&[
+                format!("{hour:02}:00"),
+                q.flows.to_string(),
+                format!("{:.1}", q.median_mbps),
+                format!("{:.1}%", 100.0 * q.full_speed_fraction),
+            ]);
+        }
+        print!("{}", t.render());
+        let busy: Vec<_> = records
+            .iter()
+            .filter(|r| (20.0..21.0).contains(&r.arrival_h))
+            .cloned()
+            .collect();
+        let q = summarize(oversub, &cfg, &busy);
+        println!(
+            "busy hour (20:00): median {:.1} Mbps, {:.1}% of flows at full speed\n",
+            q.median_mbps,
+            100.0 * q.full_speed_fraction
+        );
+    }
+    println!(
+        "The paper's F1: a 35:1 ratio 'would likely result in many users ... not \
+         receiving 100/20 service' — the busy-hour rows above quantify it."
+    );
+}

@@ -1,0 +1,87 @@
+//! Rural affordability study: a policy-analyst scenario.
+//!
+//! For the most remote decile of counties (by distance to the nearest
+//! metro), compare what each Figure 4 plan costs as a share of median
+//! income, and compute the per-household monthly subsidy that would be
+//! needed to bring Starlink Residential under the 2 % affordability
+//! threshold everywhere.
+//!
+//! ```sh
+//! cargo run --release --example rural_isp_study
+//! ```
+
+use starlink_divide_repro::demand::{IspPlan, AFFORDABILITY_THRESHOLD};
+use starlink_divide_repro::model::PaperModel;
+use starlink_divide_repro::report::TextTable;
+
+fn main() {
+    let model = PaperModel::test_scale();
+    let mut counties: Vec<_> = model
+        .dataset
+        .counties
+        .iter()
+        .filter(|c| c.locations > 0)
+        .collect();
+    counties.sort_by(|a, b| {
+        b.remoteness_km
+            .partial_cmp(&a.remoteness_km)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let decile = counties.len() / 10;
+    let cohort = &counties[..decile.max(1)];
+    let cohort_locations: u64 = cohort.iter().map(|c| c.locations).sum();
+    println!(
+        "most remote decile: {} counties, {} un(der)served locations,",
+        cohort.len(),
+        cohort_locations
+    );
+    let mean_income: f64 =
+        cohort.iter().map(|c| c.median_income_usd).sum::<f64>() / cohort.len() as f64;
+    println!("mean county median income ${mean_income:.0}/yr\n");
+
+    let mut t = TextTable::new(
+        "plan cost as share of monthly income (most remote decile)",
+        &["plan", "$/month", "mean share", "locations priced out"],
+    );
+    for plan in IspPlan::figure4_catalog() {
+        let mut priced_out = 0u64;
+        let mut share_sum = 0.0;
+        for c in cohort {
+            let share = plan.income_proportion(c.median_income_usd);
+            share_sum += share * c.locations as f64;
+            if share > AFFORDABILITY_THRESHOLD {
+                priced_out += c.locations;
+            }
+        }
+        t.row(&[
+            plan.name.to_string(),
+            format!("{:.2}", plan.monthly_usd),
+            format!("{:.2}%", 100.0 * share_sum / cohort_locations as f64),
+            format!(
+                "{priced_out} ({:.1}%)",
+                100.0 * priced_out as f64 / cohort_locations as f64
+            ),
+        ]);
+    }
+    print!("{}", t.render());
+
+    // Subsidy sizing: bring Starlink Residential within 2% everywhere
+    // in the cohort.
+    let residential = IspPlan::starlink_residential();
+    let worst_income = cohort
+        .iter()
+        .map(|c| c.median_income_usd)
+        .fold(f64::INFINITY, f64::min);
+    let affordable_price = AFFORDABILITY_THRESHOLD * worst_income / 12.0;
+    let subsidy = (residential.monthly_usd - affordable_price).max(0.0);
+    let annual_cost = subsidy * 12.0 * cohort_locations as f64;
+    println!(
+        "\nto make ${:.0}/mo service affordable at the poorest cohort county \
+         (median ${worst_income:.0}/yr), a subsidy of ${subsidy:.2}/mo per household is needed",
+        residential.monthly_usd
+    );
+    println!(
+        "cohort-wide cost: ${:.1}M per year (vs the $9.25/mo Lifeline benefit)",
+        annual_cost / 1e6
+    );
+}

@@ -1,0 +1,10 @@
+//! Shared fixtures for the integration suite: one lazily-built
+//! test-scale model per test binary (dataset generation costs seconds).
+
+use starlink_divide_repro::model::PaperModel;
+use std::sync::OnceLock;
+
+pub fn model() -> &'static PaperModel {
+    static MODEL: OnceLock<PaperModel> = OnceLock::new();
+    MODEL.get_or_init(PaperModel::test_scale)
+}

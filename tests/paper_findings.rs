@@ -1,0 +1,108 @@
+//! End-to-end reproduction checks: the paper's findings F1–F4 and
+//! Table 2, asserted across the full crate stack (synthetic dataset →
+//! hex grid → capacity model → orbital density → findings).
+
+mod common;
+
+use common::model;
+use starlink_divide_repro::capacity::beamspread::Beamspread;
+use starlink_divide_repro::capacity::DeploymentPolicy;
+use starlink_divide_repro::model::{demand_stats, findings, sizing};
+
+#[test]
+fn figure1_statistics_match_calibration_targets() {
+    let s = demand_stats::demand_stats(model());
+    assert_eq!(s.max, 5998, "peak cell");
+    // p90/p99 at test scale carry the same quantile curve, but with
+    // only ~400 demand cells the nearest-rank quantiles quantize
+    // coarsely (paper scale lands at 553/1461 vs the published
+    // 552/1437 — see EXPERIMENTS.md).
+    // (At ~400 cells the top percentile IS the anchor set, so p99
+    // reaches the anchors; the paper-scale quantile checks live in
+    // leo-demand's calibration tests.)
+    assert!((400..=800).contains(&s.p90), "p90 {}", s.p90);
+    assert!(s.p90 <= s.p99 && s.p99 <= s.max);
+    assert!(s.us_cells > 25_000, "US cells {}", s.us_cells);
+}
+
+#[test]
+fn finding1_spectrum_limits() {
+    let f = findings::finding1(model());
+    // The paper: 5998-location peak cell ⇒ 599.8 Gbps ⇒ ~35:1; five
+    // cells (22,428 locations) above the 20:1 capacity; 5,103 shed.
+    assert_eq!(f.peak_locations, 5998);
+    assert!((f.peak_oversub - 34.62).abs() < 0.1);
+    assert_eq!(f.over_cap_cells, 5);
+    assert_eq!(f.over_cap_locations, 22_428);
+    assert_eq!(f.unserved_at_cap, 5_103);
+}
+
+#[test]
+fn table2_reproduces_paper_within_one_percent() {
+    let rows = sizing::table2(model());
+    let paper = [
+        (1u32, 79_287u64, 80_567u64),
+        (2, 40_611, 41_261),
+        (5, 16_486, 16_750),
+        (10, 8_284, 8_417),
+        (15, 5_532, 5_621),
+    ];
+    for (row, &(b, full, capped)) in rows.iter().zip(&paper) {
+        assert_eq!(row.beamspread, b);
+        let rf = (row.full_service as f64 - full as f64).abs() / full as f64;
+        let rc = (row.capped as f64 - capped as f64).abs() / capped as f64;
+        assert!(rf < 0.01, "b={b} full {} vs paper {full}", row.full_service);
+        assert!(rc < 0.01, "b={b} capped {} vs paper {capped}", row.capped);
+    }
+}
+
+#[test]
+fn finding2_constellation_scale() {
+    let f = findings::finding2(model());
+    assert!(f.required_b2_capped > 40_000);
+    assert!(f.additional_needed > 32_000);
+}
+
+#[test]
+fn finding3_diminishing_returns() {
+    let f = findings::finding3(model());
+    // "a couple hundred … additional satellites" at beamspread 5.
+    assert!((100..2_000).contains(&f.marginal_satellites), "{f:?}");
+    assert!(f.tail_locations >= 3_000);
+}
+
+#[test]
+fn finding4_affordability() {
+    let f = findings::finding4(model());
+    let frac = f.unaffordable_residential as f64 / f.total_locations as f64;
+    assert!((frac - 0.745).abs() < 0.05, "unaffordable fraction {frac}");
+    assert!(f.unaffordable_with_lifeline < f.unaffordable_residential);
+    assert!(f.cable_affordable_fraction > 0.999);
+}
+
+#[test]
+fn full_service_vs_capped_ordering_holds_at_every_beamspread() {
+    // The paper's Table 2: the capped scenario consistently needs ~1.6%
+    // more satellites (its binding cell sits at a sparser latitude).
+    let m = model();
+    for b in 1..=15u32 {
+        let spread = Beamspread::new(b).unwrap();
+        let full = sizing::constellation_size(m, DeploymentPolicy::full_service(), spread);
+        let capped = sizing::constellation_size(m, DeploymentPolicy::fcc_capped(), spread);
+        assert!(capped > full, "b={b}: {capped} !> {full}");
+        let ratio = capped as f64 / full as f64;
+        assert!((1.005..1.03).contains(&ratio), "b={b} ratio {ratio}");
+    }
+}
+
+#[test]
+fn headline_narrative_the_title_claim() {
+    // "Anyone, anywhere": the current ~8,000 satellites cover any single
+    // location (density at CONUS latitudes is ample). "Not everyone,
+    // everywhere": serving all demand within the FCC benchmark needs
+    // >5x the current constellation at beamspread 2.
+    let m = model();
+    let needed =
+        sizing::constellation_size(m, DeploymentPolicy::fcc_capped(), Beamspread::new(2).unwrap());
+    assert!(needed as f64 / starlink_divide_repro::model::CURRENT_CONSTELLATION_SIZE as f64 > 5.0);
+}
