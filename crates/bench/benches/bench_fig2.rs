@@ -13,7 +13,14 @@ fn bench_fig2(c: &mut Criterion) {
         b.iter(|| black_box(coverage_sweep::sweep(model)))
     });
 
+    // Micro-assert: the memoized view must agree with a freshly sorted
+    // copy of the per-cell counts (and with itself across calls).
     let counts = model.dataset.sorted_counts();
+    let mut fresh: Vec<u64> = model.dataset.cells.iter().map(|c| c.locations).collect();
+    fresh.sort_unstable();
+    assert_eq!(*counts, fresh, "cached sorted_counts diverged from fresh sort");
+    assert_eq!(*counts, *model.dataset.sorted_counts());
+
     c.bench_function("fig2/single_point", |b| {
         b.iter(|| {
             black_box(coverage_sweep::fraction_served(

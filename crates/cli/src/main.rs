@@ -1,7 +1,7 @@
 //! `divide` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! divide [--scale small|paper] [--out DIR] <command>
+//! divide [--scale small|paper] [--out DIR] [--threads N] <command>
 //!
 //! commands:
 //!   table1          single-satellite capacity model
@@ -32,33 +32,96 @@ use starlink_divide::{
 };
 use std::path::{Path, PathBuf};
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: divide [--scale small|paper] [--out DIR] \
-         <table1|table2|fig1|fig2|fig3|fig4|findings|qoe|orbit-validate|\
-          strict|sensitivity|latency|uplink|cost|export|all>"
-    );
+/// The full command list, kept in one place so `--help` and genuine
+/// usage errors can never drift apart (or omit a command, as an earlier
+/// revision did with `timeline`).
+const HELP: &str = "\
+usage: divide [--scale small|paper] [--out DIR] [--threads N] <command>
+
+options:
+  --scale small|paper  dataset scale (default: paper)
+  --out DIR            artifact output directory (default: results/)
+  --threads N          worker threads (default: $DIVIDE_THREADS, else
+                       available parallelism); output is identical for
+                       every N
+  -h, --help           print this help and exit
+
+commands:
+  table1          single-satellite capacity model
+  table2          constellation sizes vs beamspread
+  fig1            demand distribution (CDF + map)
+  fig2            fraction of cells served heatmap
+  fig3            constellation size vs locations unserved
+  fig4            affordability CDFs
+  findings        findings F1-F4
+  qoe             busy-hour QoE vs oversubscription (extension)
+  orbit-validate  Walker density/coverage validation (extension)
+  strict          strict all-cells sizing bound (extension)
+  sensitivity     ablations: efficiency, cell size, threshold, subsidy
+  latency         user->gateway latency, bent pipe vs ISL (extension)
+  uplink          uplink binding-direction check (extension)
+  cost            marginal dollars per tail location (extension)
+  timeline        launch-cadence deployment timeline (extension)
+  export          dataset CSV export
+  all             everything above";
+
+/// Prints the help to stdout and exits 0 (`-h`/`--help`).
+fn help() -> ! {
+    println!("{HELP}");
+    std::process::exit(0);
+}
+
+/// Reports a genuine usage error on stderr and exits 2.
+fn usage(problem: &str) -> ! {
+    eprintln!("divide: {problem}");
+    eprintln!("{HELP}");
     std::process::exit(2);
 }
 
 fn main() {
     let mut scale = "paper".to_string();
     let mut out = PathBuf::from("results");
+    let mut threads: Option<usize> = None;
     let mut command = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--scale" => scale = args.next().unwrap_or_else(|| usage()),
-            "--out" => out = PathBuf::from(args.next().unwrap_or_else(|| usage())),
-            "-h" | "--help" => usage(),
-            cmd if command.is_none() => command = Some(cmd.to_string()),
-            _ => usage(),
+            "--scale" => {
+                scale = args.next().unwrap_or_else(|| usage("--scale needs a value"))
+            }
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| usage("--out needs a value")))
+            }
+            "--threads" => {
+                let v = args.next().unwrap_or_else(|| usage("--threads needs a value"));
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => threads = Some(n),
+                    _ => usage("--threads expects a positive integer"),
+                }
+            }
+            "-h" | "--help" => help(),
+            cmd if command.is_none() && !cmd.starts_with('-') => {
+                command = Some(cmd.to_string())
+            }
+            other => usage(&format!("unexpected argument {other:?}")),
         }
     }
-    let command = command.unwrap_or_else(|| usage());
+    let command = command.unwrap_or_else(|| usage("no command given"));
     if !matches!(scale.as_str(), "small" | "paper") {
-        usage();
+        usage(&format!("unknown scale {scale:?} (expected small or paper)"));
     }
+    // Reject unknown commands *before* the expensive dataset build.
+    const COMMANDS: &[&str] = &[
+        "table1", "table2", "fig1", "fig2", "fig3", "fig4", "findings", "qoe",
+        "orbit-validate", "strict", "sensitivity", "latency", "uplink", "cost",
+        "timeline", "export", "all",
+    ];
+    if !COMMANDS.contains(&command.as_str()) {
+        usage(&format!("unknown command {command:?}"));
+    }
+    // Explicit flag wins; otherwise leo-parallel falls back to
+    // $DIVIDE_THREADS, then to available parallelism.
+    leo_parallel::set_global_threads(threads);
     std::fs::create_dir_all(&out).expect("create output directory");
 
     eprintln!("[divide] generating {scale}-scale dataset...");
@@ -109,7 +172,7 @@ fn main() {
             timeline_cmd(&model);
             export(&model, &out);
         }
-        _ => usage(),
+        other => unreachable!("command {other:?} passed the upfront check"),
     }
 }
 

@@ -10,6 +10,7 @@
 use crate::PaperModel;
 use leo_capacity::beamspread::{spread_cell_capacity_gbps, Beamspread};
 use leo_capacity::oversub::{max_locations_servable, Oversubscription};
+use leo_parallel::par_map;
 
 /// The Fig 2 heatmap: `fraction[bi][ri]` is the fraction of demand
 /// cells served at `beamspreads[bi]` and `oversubs[ri]`.
@@ -45,23 +46,23 @@ pub fn sweep(model: &PaperModel) -> CoverageSweep {
     sweep_over(model, (1..=15).collect(), (1..=30).collect())
 }
 
-/// Runs the sweep over explicit axes.
+/// Runs the sweep over explicit axes. Rows (beamspreads) are evaluated
+/// in parallel over the shared cached count view; each grid point is a
+/// pure function of `(counts, b, ρ)`, so the result is identical at any
+/// thread count.
 pub fn sweep_over(model: &PaperModel, beamspreads: Vec<u32>, oversubs: Vec<u32>) -> CoverageSweep {
     let counts = model.dataset.sorted_counts();
-    let fraction = beamspreads
-        .iter()
-        .map(|&b| {
-            let spread = Beamspread::new(b).expect("beamspread axis value must be >= 1");
-            oversubs
-                .iter()
-                .map(|&r| {
-                    let rho = Oversubscription::new(r as f64)
-                        .expect("oversubscription axis value must be >= 1");
-                    fraction_served(model, &counts, rho, spread)
-                })
-                .collect()
-        })
-        .collect();
+    let fraction = par_map(&beamspreads, |_, &b| {
+        let spread = Beamspread::new(b).expect("beamspread axis value must be >= 1");
+        oversubs
+            .iter()
+            .map(|&r| {
+                let rho = Oversubscription::new(r as f64)
+                    .expect("oversubscription axis value must be >= 1");
+                fraction_served(model, &counts, rho, spread)
+            })
+            .collect()
+    });
     CoverageSweep {
         beamspreads,
         oversubs,

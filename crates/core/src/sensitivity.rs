@@ -14,6 +14,7 @@ use leo_capacity::oversub::{
 use leo_capacity::SatelliteCapacityModel;
 use leo_demand::IspPlan;
 use leo_orbit::constellation_size_for_density;
+use leo_parallel::par_map;
 
 /// One row of the spectral-efficiency ablation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,35 +35,32 @@ pub struct EfficiencyRow {
 /// published estimates range roughly 3–5.5 depending on modulation and
 /// weather margin.
 pub fn efficiency_sweep(model: &PaperModel, efficiencies: &[f64]) -> Vec<EfficiencyRow> {
-    efficiencies
-        .iter()
-        .map(|&eff| {
-            let mut cap = SatelliteCapacityModel::starlink();
-            cap.spectral_efficiency_bps_hz = eff;
-            let cell_cap = cap.max_cell_capacity_gbps();
-            let peak = model.dataset.peak_cell();
-            let limit = max_locations_servable(cell_cap, Oversubscription::FCC_CAP);
-            let unserved: u64 = model
-                .dataset
-                .cells
-                .iter()
-                .map(|c| c.locations.saturating_sub(limit))
-                .sum();
-            // Re-derive the sizing with the altered beam math: the
-            // capped binding cell is the largest fully-servable one.
-            let ablated = PaperModelView {
-                model,
-                capacity: &cap,
-            };
-            EfficiencyRow {
-                bps_hz: eff,
-                cell_capacity_gbps: cell_cap,
-                peak_oversub: required_oversubscription(peak.locations, cell_cap),
-                unserved_at_cap: unserved,
-                b2_capped: ablated.capped_size(Beamspread::new(2).expect("nonzero")),
-            }
-        })
-        .collect()
+    par_map(efficiencies, |_, &eff| {
+        let mut cap = SatelliteCapacityModel::starlink();
+        cap.spectral_efficiency_bps_hz = eff;
+        let cell_cap = cap.max_cell_capacity_gbps();
+        let peak = model.dataset.peak_cell();
+        let limit = max_locations_servable(cell_cap, Oversubscription::FCC_CAP);
+        let unserved: u64 = model
+            .dataset
+            .cells
+            .iter()
+            .map(|c| c.locations.saturating_sub(limit))
+            .sum();
+        // Re-derive the sizing with the altered beam math: the
+        // capped binding cell is the largest fully-servable one.
+        let ablated = PaperModelView {
+            model,
+            capacity: &cap,
+        };
+        EfficiencyRow {
+            bps_hz: eff,
+            cell_capacity_gbps: cell_cap,
+            peak_oversub: required_oversubscription(peak.locations, cell_cap),
+            unserved_at_cap: unserved,
+            b2_capped: ablated.capped_size(Beamspread::new(2).expect("nonzero")),
+        }
+    })
 }
 
 /// A temporary view substituting an ablated capacity model.

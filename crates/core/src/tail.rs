@@ -25,6 +25,7 @@
 use crate::{sizing, PaperModel};
 use leo_capacity::beamspread::{beams_required, Beamspread};
 use leo_capacity::oversub::{max_locations_servable, Oversubscription};
+use leo_parallel::par_map;
 
 /// One point of the Fig 3 curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,12 +63,9 @@ pub fn tail_curve(
 
     // Candidate peak cells: served demand needs ≥ 2 dedicated beams.
     // Each imposes a static bound (constellation needed while it is
-    // served).
-    let mut candidates: Vec<(u64, u64)> = model
-        .dataset
-        .cells
-        .iter()
-        .filter_map(|c| {
+    // served). Per-cell bounds are independent, so the scan fans out.
+    let mut candidates: Vec<(u64, u64)> =
+        par_map(&model.dataset.cells, |_, c| {
             let served = c.locations.min(limit);
             let beams = beams_required(&model.capacity, served, oversub)
                 .expect("served demand fits by construction");
@@ -79,6 +77,8 @@ pub fn tail_curve(
                     .expect("CONUS latitude");
             Some((bound, served))
         })
+        .into_iter()
+        .flatten()
         .collect();
     // Partial-service excess is unserved from the start.
     let baseline: u64 = model
@@ -112,26 +112,19 @@ pub fn tail_curve(
 }
 
 /// The paper's Fig 3 curve family: beamspreads {1, 2, 5, 10, 15} at
-/// 20:1 plus beamspread 5 at 15:1.
+/// 20:1 plus beamspread 5 at 15:1. The six curves are independent and
+/// computed in parallel.
 pub fn figure3(model: &PaperModel, max_unserved: u64) -> Vec<TailCurve> {
-    let mut curves: Vec<TailCurve> = [1u32, 2, 5, 10, 15]
-        .iter()
-        .map(|&b| {
-            tail_curve(
-                model,
-                Oversubscription::FCC_CAP,
-                Beamspread::new(b).expect("nonzero"),
-                max_unserved,
-            )
-        })
-        .collect();
-    curves.push(tail_curve(
-        model,
-        Oversubscription::new(15.0).expect("valid"),
-        Beamspread::new(5).expect("nonzero"),
-        max_unserved,
-    ));
-    curves
+    let specs: [(f64, u32); 6] =
+        [(20.0, 1), (20.0, 2), (20.0, 5), (20.0, 10), (20.0, 15), (15.0, 5)];
+    par_map(&specs, |_, &(rho, b)| {
+        tail_curve(
+            model,
+            Oversubscription::new(rho).expect("valid"),
+            Beamspread::new(b).expect("nonzero"),
+            max_unserved,
+        )
+    })
 }
 
 /// Marginal cost of the last `tail_locations` servable locations: the

@@ -11,9 +11,14 @@
 //!    seat (Voronoi), and calibrate county incomes;
 //! 5. optionally scatter individual location points inside each cell.
 //!
-//! Everything is deterministic in the seed: two runs of the same config
-//! produce identical datasets, which the statistical pins and benches
-//! rely on.
+//! Everything is deterministic in the seed **and in the thread count**:
+//! two runs of the same config produce identical datasets, which the
+//! statistical pins and benches rely on. The expensive stages (cell
+//! scoring, county assignment, location scatter) fan out through
+//! `leo-parallel`, and every random draw comes from a per-cell stream
+//! derived with [`leo_parallel::mix64`] — the value drawn for a cell
+//! depends only on `(seed, cell id)`, never on which worker visited it
+//! or in what order.
 
 use crate::counties::{generate_seats, remoteness_ranking, County, SeatIndex};
 use crate::counts::CountCalibration;
@@ -22,9 +27,11 @@ use crate::geography;
 use crate::income::assign_county_incomes;
 use leo_geomath::LatLng;
 use leo_hexgrid::{CellId, GeoHexGrid, STARLINK_RESOLUTION};
+use leo_parallel::{mix64, par_map, Memo};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Configuration for dataset synthesis.
 #[derive(Debug, Clone)]
@@ -98,9 +105,35 @@ pub struct BroadbandDataset {
     pub counties: Vec<County>,
     /// Total un(der)served locations (Σ over cells).
     pub total_locations: u64,
+    /// Cached ascending per-cell counts (the Fig 1 CDF view), built on
+    /// first use. The Fig 2 sweep binary-searches this vector at every
+    /// grid point; recomputing the 20k-element sort per call dominated
+    /// the sweep's profile.
+    sorted: Memo<Vec<u64>>,
 }
 
 impl BroadbandDataset {
+    /// Assembles a dataset from already-built parts (import paths and
+    /// scenario transforms). The total location count and the lazy
+    /// sorted-counts cache are derived here so every construction site
+    /// stays consistent.
+    pub fn from_parts(
+        grid: GeoHexGrid,
+        cells: Vec<CellDemand>,
+        us_cell_count: usize,
+        counties: Vec<County>,
+    ) -> Self {
+        let total_locations = cells.iter().map(|c| c.locations).sum();
+        BroadbandDataset {
+            grid,
+            cells,
+            us_cell_count,
+            counties,
+            total_locations,
+            sorted: Memo::new(),
+        }
+    }
+
     /// Generates the dataset for `config`. Deterministic in the seed.
     pub fn generate(config: &SynthConfig) -> Self {
         let grid = GeoHexGrid::starlink();
@@ -119,21 +152,26 @@ impl BroadbandDataset {
         // -- Regular cells ------------------------------------------------
         // Score every candidate cell: smooth rural-cluster field plus a
         // remoteness ramp plus seeded jitter; demand concentrates where
-        // the score is high.
+        // the score is high. The jitter comes from a per-cell stream
+        // (`mix64` of the seed and the cell id) rather than one
+        // sequential RNG, so the scoring can fan out across workers and
+        // still produce bit-identical scores at any thread count.
         let bbox = *poly.bbox();
         let field = SmoothField::new(config.seed, &bbox, 80, (80.0, 450.0));
-        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9));
-        let mut scored: Vec<(f64, CellId, LatLng)> = us_cells
+        let jitter_seed = config.seed.wrapping_mul(0x9E37_79B9);
+        let candidates: Vec<CellId> = us_cells
             .iter()
+            .copied()
             .filter(|id| !counts_by_cell.contains_key(id))
-            .map(|&id| {
-                let c = grid.cell_center(id);
-                let remote = geography::distance_to_nearest_metro_km(&c);
-                let score = field.value(&c) + 0.6 * (remote / 400.0).min(2.0)
-                    + rng.gen_range(0.0..0.35);
-                (score, id, c)
-            })
             .collect();
+        let mut scored: Vec<(f64, CellId, LatLng)> = par_map(&candidates, |_, &id| {
+            let c = grid.cell_center(id);
+            let remote = geography::distance_to_nearest_metro_km(&c);
+            let mut rng = StdRng::seed_from_u64(mix64(jitter_seed, id.as_u64()));
+            let score =
+                field.value(&c) + 0.6 * (remote / 400.0).min(2.0) + rng.gen_range(0.0..0.35);
+            (score, id, c)
+        });
         // Highest score first; ties broken by cell id for determinism.
         scored.sort_by(|a, b| {
             b.0.partial_cmp(&a.0)
@@ -209,19 +247,20 @@ impl BroadbandDataset {
         // -- Counties -----------------------------------------------------
         let seats = generate_seats(config.seed ^ 0xC0FFEE, config.n_counties, &poly);
         let seat_index = SeatIndex::new(seats);
-        let mut cells: Vec<CellDemand> = counts_by_cell
-            .iter()
-            .map(|(&cell, &locations)| {
-                let center = grid.cell_center(cell);
-                CellDemand {
-                    cell,
-                    center,
-                    locations,
-                    county: seat_index.nearest(&center),
-                }
-            })
-            .collect();
-        cells.sort_by_key(|c| c.cell);
+        // Sort the demand cells before the parallel Voronoi lookup so
+        // the fan-out works over a deterministic, ordered slice (the
+        // HashMap's iteration order must never reach the output).
+        let mut demand: Vec<(CellId, u64)> = counts_by_cell.into_iter().collect();
+        demand.sort_unstable_by_key(|&(cell, _)| cell);
+        let cells: Vec<CellDemand> = par_map(&demand, |_, &(cell, locations)| {
+            let center = grid.cell_center(cell);
+            CellDemand {
+                cell,
+                center,
+                locations,
+                county: seat_index.nearest(&center),
+            }
+        });
 
         let mut county_weights = vec![0u64; config.n_counties];
         for c in &cells {
@@ -242,21 +281,18 @@ impl BroadbandDataset {
             })
             .collect();
 
-        let total_locations = cells.iter().map(|c| c.locations).sum();
-        BroadbandDataset {
-            grid,
-            cells,
-            us_cell_count,
-            counties,
-            total_locations,
-        }
+        Self::from_parts(grid, cells, us_cell_count, counties)
     }
 
     /// Per-cell location counts, ascending (the Fig 1 distribution).
-    pub fn sorted_counts(&self) -> Vec<u64> {
-        let mut v: Vec<u64> = self.cells.iter().map(|c| c.locations).collect();
-        v.sort_unstable();
-        v
+    /// Computed once and cached; the returned `Arc` is shared by every
+    /// caller (coverage sweep, tail curves, demand stats).
+    pub fn sorted_counts(&self) -> Arc<Vec<u64>> {
+        self.sorted.get_or_init(|| {
+            let mut v: Vec<u64> = self.cells.iter().map(|c| c.locations).collect();
+            v.sort_unstable();
+            v
+        })
     }
 
     /// The cell with the most un(der)served locations.
@@ -282,24 +318,30 @@ impl BroadbandDataset {
     }
 
     /// Scatters individual location points inside each cell
-    /// (deterministic in `seed`). Points are placed uniformly within
-    /// ~95 % of the cell's in-radius so that re-binning through the
-    /// grid provably recovers the per-cell counts.
+    /// (deterministic in `seed` and thread count: each cell draws from
+    /// its own `mix64(seed, cell)` stream). Points are placed uniformly
+    /// within ~95 % of the cell's in-radius so that re-binning through
+    /// the grid provably recovers the per-cell counts.
     pub fn scatter_locations(&self, seed: u64) -> Vec<Location> {
-        let mut rng = StdRng::seed_from_u64(seed);
         let inradius =
             self.grid.center_spacing_km(STARLINK_RESOLUTION) / 2.0 * 0.95;
+        let per_cell = par_map(&self.cells, |_, c| {
+            let mut rng = StdRng::seed_from_u64(mix64(seed, c.cell.as_u64()));
+            (0..c.locations)
+                .map(|_| {
+                    let bearing = rng.gen_range(0.0..360.0);
+                    let radius = inradius * rng.gen_range(0.0f64..1.0).sqrt();
+                    Location {
+                        position: leo_geomath::destination(&c.center, bearing, radius),
+                        cell: c.cell,
+                        county: c.county,
+                    }
+                })
+                .collect::<Vec<Location>>()
+        });
         let mut out = Vec::with_capacity(self.total_locations as usize);
-        for c in &self.cells {
-            for _ in 0..c.locations {
-                let bearing = rng.gen_range(0.0..360.0);
-                let radius = inradius * rng.gen_range(0.0f64..1.0).sqrt();
-                out.push(Location {
-                    position: leo_geomath::destination(&c.center, bearing, radius),
-                    cell: c.cell,
-                    county: c.county,
-                });
-            }
+        for chunk in per_cell {
+            out.extend(chunk);
         }
         out
     }

@@ -181,17 +181,15 @@ pub fn import(cells_csv: &str, counties_csv: &str) -> Result<BroadbandDataset, I
         });
     }
     cells.sort_by_key(|c| c.cell);
-    let total_locations = cells.iter().map(|c| c.locations).sum();
     let us_cell_count = grid
         .polyfill(&crate::geography::conus_polygon(), leo_hexgrid::STARLINK_RESOLUTION)
         .len();
-    Ok(BroadbandDataset {
+    Ok(BroadbandDataset::from_parts(
         grid,
         cells,
         us_cell_count,
         counties,
-        total_locations,
-    })
+    ))
 }
 
 #[cfg(test)]

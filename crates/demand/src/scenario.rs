@@ -12,14 +12,7 @@ use crate::counties::County;
 use crate::dataset::{BroadbandDataset, CellDemand};
 
 fn rebuild(base: &BroadbandDataset, cells: Vec<CellDemand>, counties: Vec<County>) -> BroadbandDataset {
-    let total_locations = cells.iter().map(|c| c.locations).sum();
-    BroadbandDataset {
-        grid: base.grid.clone(),
-        cells,
-        us_cell_count: base.us_cell_count,
-        counties,
-        total_locations,
-    }
+    BroadbandDataset::from_parts(base.grid.clone(), cells, base.us_cell_count, counties)
 }
 
 fn recount_counties(counties: &[County], cells: &[CellDemand]) -> Vec<County> {

@@ -11,6 +11,7 @@
 use crate::visibility;
 use crate::walker::WalkerShell;
 use leo_geomath::LatLng;
+use leo_parallel::par_map;
 
 /// Coverage statistics for one ground point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,8 +58,12 @@ pub fn coverage(
 ) -> Vec<CoverageStats> {
     assert!(cfg.time_samples > 0, "need at least one sample");
     let sats: Vec<_> = shells.iter().flat_map(|s| s.satellites()).collect();
-    let mut totals = vec![(u32::MAX, 0u64, 0u64); points.len()];
-    for k in 0..cfg.time_samples {
+    // Each time sample yields an independent per-point visibility
+    // count; samples fan out across workers and merge with the
+    // associative, order-insensitive (min, sum, count) fold below, so
+    // the statistics are exact at any thread count.
+    let samples: Vec<u32> = (0..cfg.time_samples).collect();
+    let per_sample: Vec<Vec<u32>> = par_map(&samples, |_, &k| {
         let t = cfg.span_s * k as f64 / cfg.time_samples as f64;
         // Sub-satellite points at this instant, with per-sat cap angle.
         let ssps: Vec<(LatLng, f64)> = sats
@@ -73,18 +78,26 @@ pub fn coverage(
                 )
             })
             .collect();
-        for (pi, p) in points.iter().enumerate() {
-            let mut count = 0u32;
-            for (ssp, lambda) in &ssps {
-                // Latitude prefilter: |Δlat| alone can exceed λ.
-                if (ssp.lat_deg() - p.lat_deg()).abs().to_radians() > *lambda {
-                    continue;
+        points
+            .iter()
+            .map(|p| {
+                let mut count = 0u32;
+                for (ssp, lambda) in &ssps {
+                    // Latitude prefilter: |Δlat| alone can exceed λ.
+                    if (ssp.lat_deg() - p.lat_deg()).abs().to_radians() > *lambda {
+                        continue;
+                    }
+                    if p.central_angle_rad(ssp) <= *lambda {
+                        count += 1;
+                    }
                 }
-                if p.central_angle_rad(ssp) <= *lambda {
-                    count += 1;
-                }
-            }
-            let entry = &mut totals[pi];
+                count
+            })
+            .collect()
+    });
+    let mut totals = vec![(u32::MAX, 0u64, 0u64); points.len()];
+    for counts in &per_sample {
+        for (entry, &count) in totals.iter_mut().zip(counts) {
             entry.0 = entry.0.min(count);
             entry.1 += count as u64;
             if count > 0 {

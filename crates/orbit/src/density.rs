@@ -37,6 +37,7 @@
 
 use crate::walker::WalkerShell;
 use leo_geomath::constants::EARTH_SURFACE_AREA_KM2;
+use leo_parallel::par_sum_u64;
 
 /// Dimensionless sub-satellite density factor `d(φ, i)` of an inclined
 /// Walker shell at latitude `lat_deg`; `None` when the latitude is at or
@@ -97,16 +98,17 @@ pub fn empirical_density_factor(
     let sats = shell.satellites();
     let n = sats.len() as f64;
     let period = sats[0].orbit.period_s();
-    let mut in_band = 0u64;
-    for k in 0..time_samples {
+    // Time samples are independent; hits are integer counts, so the
+    // parallel sum is exact and thread-count-invariant.
+    let in_band = par_sum_u64(time_samples as usize, |k| {
         let t = period * k as f64 / time_samples as f64;
-        for s in &sats {
-            let lat = s.orbit.subsatellite(t).lat_deg();
-            if (lat - lat_deg).abs() <= band_deg {
-                in_band += 1;
-            }
-        }
-    }
+        sats.iter()
+            .filter(|s| {
+                let lat = s.orbit.subsatellite(t).lat_deg();
+                (lat - lat_deg).abs() <= band_deg
+            })
+            .count() as u64
+    });
     let frac = in_band as f64 / (n * time_samples as f64);
     // Convert band occupancy to a density factor: the band covers
     // area 2πR²·(sin(φ+Δ) − sin(φ−Δ)) ≈ fraction of Earth's surface.

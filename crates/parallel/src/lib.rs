@@ -1,0 +1,335 @@
+//! # leo-parallel
+//!
+//! The workspace's deterministic parallelism substrate. Every
+//! paper-scale artifact — the 4.67 M-location dataset, the 450-point
+//! Fig 2 sweep, the six Fig 3 tail curves, the Monte-Carlo density and
+//! coverage validation — fans out through this crate, under one hard
+//! contract:
+//!
+//! > **Determinism.** For any thread count, the output of a parallel
+//! > computation is bit-identical to the single-threaded run.
+//!
+//! The contract holds because the primitives never let scheduling
+//! order reach the result:
+//!
+//! * [`par_map`] assigns contiguous index chunks to workers and
+//!   reassembles results **in input order**; each element's value
+//!   depends only on the element (callers derive per-element RNG
+//!   streams via [`mix64`] instead of sharing one sequential stream);
+//! * [`par_sum_u64`] folds chunk results with an associative,
+//!   commutative integer merge, which is order-insensitive by
+//!   construction (no float accumulation across chunk boundaries);
+//! * [`Memo`] caches a value computed once; racing initializers both
+//!   compute the same deterministic value, and one wins.
+//!
+//! Thread-count resolution (highest priority first): a thread-local
+//! override ([`with_threads`], used by the determinism tests), the
+//! process-wide setting ([`set_global_threads`], wired to the CLI's
+//! `--threads N`), the `DIVIDE_THREADS` environment variable, and
+//! finally [`std::thread::available_parallelism`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use parking_lot::RwLock;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Process-wide thread-count setting; 0 means "auto".
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread override; 0 means "no override".
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Sets the process-wide worker count. `None` restores the default
+/// resolution (environment variable, then available parallelism).
+pub fn set_global_threads(n: Option<usize>) {
+    GLOBAL_THREADS.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Runs `f` with the effective thread count forced to `n` on this
+/// thread (and on any workers it spawns through this crate). Used by
+/// the determinism tests to compare `threads=1` against `threads=4`
+/// within one process.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    THREAD_OVERRIDE.with(|cell| {
+        let prev = cell.replace(n.max(1));
+        let out = f();
+        cell.set(prev);
+        out
+    })
+}
+
+fn env_threads() -> Option<usize> {
+    std::env::var("DIVIDE_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+}
+
+/// The worker count parallel primitives use right now on this thread:
+/// thread-local override, else global setting, else `DIVIDE_THREADS`,
+/// else available parallelism.
+pub fn effective_threads() -> usize {
+    let over = THREAD_OVERRIDE.with(|cell| cell.get());
+    if over > 0 {
+        return over;
+    }
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global > 0 {
+        return global;
+    }
+    env_threads().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Splits `len` items into at most `workers` contiguous chunks of
+/// near-equal size. Returns `(start, end)` index pairs in order.
+fn chunks(len: usize, workers: usize) -> Vec<(usize, usize)> {
+    let workers = workers.min(len).max(1);
+    let base = len / workers;
+    let extra = len % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let size = base + usize::from(w < extra);
+        out.push((start, start + size));
+        start += size;
+    }
+    out
+}
+
+/// Maps `f` over `items` in parallel, preserving input order in the
+/// output. `f` receives `(index, &item)` so callers can derive
+/// per-element seeds. Single-threaded when the effective thread count
+/// is 1 (the reference path the determinism tests compare against).
+///
+/// Panics in `f` propagate to the caller.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = effective_threads();
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let plan = chunks(items.len(), workers);
+    let nested = crossbeam::scope(|s| {
+        let handles: Vec<_> = plan
+            .iter()
+            .map(|&(lo, hi)| {
+                let f = &f;
+                let items = &items[lo..hi];
+                s.spawn(move |_| {
+                    // Workers inherit the caller's thread-count choice
+                    // so any nested primitive resolves identically.
+                    with_threads(workers, || {
+                        items
+                            .iter()
+                            .enumerate()
+                            .map(|(k, x)| f(lo + k, x))
+                            .collect::<Vec<R>>()
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect::<Vec<Vec<R>>>()
+    })
+    .expect("parallel scope panicked");
+    let mut out = Vec::with_capacity(items.len());
+    for chunk in nested {
+        out.extend(chunk);
+    }
+    out
+}
+
+/// Sums `f(i)` for `i in 0..len` of `u64` terms in parallel. Integer
+/// addition is associative and commutative, so the result is exact and
+/// independent of the chunking — safe for Monte-Carlo hit counting.
+pub fn par_sum_u64<F>(len: usize, f: F) -> u64
+where
+    F: Fn(usize) -> u64 + Sync,
+{
+    let workers = effective_threads();
+    if workers <= 1 || len <= 1 {
+        return (0..len).map(f).sum();
+    }
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = chunks(len, workers)
+            .into_iter()
+            .map(|(lo, hi)| {
+                let f = &f;
+                s.spawn(move |_| with_threads(workers, || (lo..hi).map(f).sum::<u64>()))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .sum()
+    })
+    .expect("parallel scope panicked")
+}
+
+/// A lazily-initialized, thread-safe memo cell.
+///
+/// Backs derived dataset views (for example the sorted per-cell count
+/// vector the Fig 2/Fig 3 paths binary-search) so repeated sweeps stop
+/// recomputing them. The cached value is shared via `Arc`; callers
+/// hold it across long computations without keeping any lock.
+pub struct Memo<T> {
+    slot: RwLock<Option<Arc<T>>>,
+}
+
+impl<T> Default for Memo<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Memo<T> {
+    /// Creates an empty memo.
+    pub const fn new() -> Self {
+        Memo {
+            slot: RwLock::new(None),
+        }
+    }
+
+    /// Returns the cached value, computing it with `init` on first
+    /// use. If two threads race the initializer, both compute the same
+    /// deterministic value and one result wins; `init` must therefore
+    /// be pure (every use in this workspace is).
+    pub fn get_or_init(&self, init: impl FnOnce() -> T) -> Arc<T> {
+        if let Some(v) = self.slot.read().as_ref() {
+            return Arc::clone(v);
+        }
+        let computed = Arc::new(init());
+        let mut slot = self.slot.write();
+        match slot.as_ref() {
+            Some(existing) => Arc::clone(existing),
+            None => {
+                *slot = Some(Arc::clone(&computed));
+                computed
+            }
+        }
+    }
+
+    /// The cached value, if already initialized.
+    pub fn get(&self) -> Option<Arc<T>> {
+        self.slot.read().as_ref().map(Arc::clone)
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Memo<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.get() {
+            Some(v) => f.debug_tuple("Memo").field(&v).finish(),
+            None => f.write_str("Memo(<uninit>)"),
+        }
+    }
+}
+
+/// Mixes a seed with a salt into an independent 64-bit stream seed
+/// (SplitMix64 finalizer). This is how the dataset generator derives
+/// one RNG stream per cell/cluster: the draw for element `k` depends
+/// only on `(seed, k)`, never on how work was chunked across threads —
+/// the keystone of the parallel-equals-serial guarantee.
+pub fn mix64(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_plan_covers_everything_in_order() {
+        for len in [0usize, 1, 7, 100] {
+            for workers in [1usize, 2, 3, 16] {
+                let plan = chunks(len, workers);
+                let mut covered = 0;
+                for &(lo, hi) in &plan {
+                    assert_eq!(lo, covered, "contiguous");
+                    assert!(hi >= lo);
+                    covered = hi;
+                }
+                assert_eq!(covered, len, "len {len} workers {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_matches_serial_for_any_thread_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial = with_threads(1, || par_map(&items, |i, &x| x * 3 + i as u64));
+        for n in [2, 3, 8, 64] {
+            let parallel = with_threads(n, || par_map(&items, |i, &x| x * 3 + i as u64));
+            assert_eq!(serial, parallel, "threads={n}");
+        }
+    }
+
+    #[test]
+    fn par_sum_is_exact_for_any_thread_count() {
+        let expect: u64 = (0..10_000u64).map(|i| i * i).sum();
+        for n in [1, 2, 5, 32] {
+            let got = with_threads(n, || par_sum_u64(10_000, |i| (i as u64) * (i as u64)));
+            assert_eq!(got, expect, "threads={n}");
+        }
+    }
+
+    #[test]
+    fn memo_computes_once_and_shares() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let calls = AtomicU32::new(0);
+        let memo: Memo<Vec<u64>> = Memo::new();
+        let a = memo.get_or_init(|| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            vec![1, 2, 3]
+        });
+        let b = memo.get_or_init(|| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            unreachable!("second init must not run")
+        });
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(memo.get().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn with_threads_nests_and_restores() {
+        with_threads(3, || {
+            assert_eq!(effective_threads(), 3);
+            with_threads(5, || assert_eq!(effective_threads(), 5));
+            assert_eq!(effective_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn workers_inherit_the_callers_thread_count() {
+        let counts = with_threads(4, || par_map(&[0u8; 8], |_, _| effective_threads()));
+        assert!(counts.iter().all(|&c| c == 4), "{counts:?}");
+    }
+
+    #[test]
+    fn mix64_separates_streams() {
+        let a = mix64(7, 1);
+        let b = mix64(7, 2);
+        let c = mix64(8, 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, mix64(7, 1), "pure function");
+    }
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verify: build the whole workspace, run every test, then smoke
+# the `divide` CLI end-to-end at small scale into a throwaway directory.
+# Exits non-zero on the first failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "[tier1] cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "[tier1] cargo test -q --workspace"
+cargo test -q --workspace
+
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+
+echo "[tier1] divide --scale small all --out $out"
+./target/release/divide --scale small all --out "$out"
+
+# The smoke run must actually produce artifacts.
+for f in fig1_cdf.csv fig2_sweep.csv fig3_tail.csv fig4_affordability.csv table2.csv; do
+    [ -s "$out/$f" ] || { echo "[tier1] missing artifact: $f" >&2; exit 1; }
+done
+
+echo "[tier1] divide --help exits 0 and lists every command"
+./target/release/divide --help | grep -q timeline
+
+echo "[tier1] OK"

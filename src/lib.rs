@@ -13,6 +13,7 @@
 //! * [`orbit`] — Walker constellations, propagation, coverage, density
 //! * [`demand`] — synthetic broadband-map and income datasets
 //! * [`capacity`] — Starlink spectrum/beam capacity model
+//! * [`parallel`] — deterministic worker pool and memoization layer
 //! * [`model`] — the paper's analytical model (findings F1–F4)
 //! * [`simnet`] — flow-level oversubscription QoE simulator
 //! * [`report`] — tables, CSV, and SVG figure rendering
@@ -24,6 +25,7 @@ pub use leo_demand as demand;
 pub use leo_geomath as geomath;
 pub use leo_hexgrid as hexgrid;
 pub use leo_orbit as orbit;
+pub use leo_parallel as parallel;
 pub use leo_report as report;
 pub use leo_simnet as simnet;
 pub use starlink_divide as model;

@@ -1,0 +1,100 @@
+//! The parallelism determinism contract (DESIGN.md §3): every result
+//! in the pipeline is a pure function of the seed, never of the thread
+//! count. These tests regenerate the dataset under different worker
+//! counts and demand *bit-identical* outputs — the same contract the
+//! serial seed satisfied before `leo-parallel` existed.
+
+use starlink_divide_repro::demand::dataset::{BroadbandDataset, SynthConfig};
+use starlink_divide_repro::model::{coverage_sweep, demand_stats, sizing, PaperModel};
+use starlink_divide_repro::parallel::with_threads;
+
+/// Everything the figures consume, regenerated from scratch at a given
+/// worker count.
+struct PipelineOutputs {
+    stats: demand_stats::DemandStats,
+    table2: Vec<sizing::SizingRow>,
+    fig2: Vec<Vec<f64>>,
+    cell_counts: Vec<(u64, u64)>,
+    scatter_head: Vec<(f64, f64)>,
+}
+
+fn run_pipeline(threads: usize) -> PipelineOutputs {
+    with_threads(threads, || {
+        let ds = BroadbandDataset::generate(&SynthConfig::small());
+        let scatter_head: Vec<(f64, f64)> = ds
+            .scatter_locations(2024)
+            .iter()
+            .take(500)
+            .map(|l| (l.position.lat_deg(), l.position.lng_deg()))
+            .collect();
+        let cell_counts = ds
+            .cells
+            .iter()
+            .map(|c| (c.cell.as_u64(), c.locations))
+            .collect();
+        let model = PaperModel::new(ds);
+        PipelineOutputs {
+            stats: demand_stats::demand_stats(&model),
+            table2: sizing::table2(&model),
+            fig2: coverage_sweep::sweep(&model).fraction,
+            cell_counts,
+            scatter_head,
+        }
+    })
+}
+
+#[test]
+fn parallel_pipeline_is_bit_identical_to_serial() {
+    let serial = run_pipeline(1);
+    let parallel = run_pipeline(4);
+
+    // The raw dataset: same cells, same counts, in the same order.
+    assert_eq!(serial.cell_counts, parallel.cell_counts);
+    // Fig 1 summary statistics (includes f64 mean — compared exactly).
+    assert_eq!(serial.stats, parallel.stats);
+    // Table 2 constellation sizes, row by row.
+    assert_eq!(serial.table2, parallel.table2);
+    // The full Fig 2 fraction grid, compared bit-for-bit.
+    assert_eq!(serial.fig2.len(), parallel.fig2.len());
+    for (row_s, row_p) in serial.fig2.iter().zip(parallel.fig2.iter()) {
+        for (a, b) in row_s.iter().zip(row_p.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "fig2 fraction differs");
+        }
+    }
+    // Location scatter (per-cell RNG streams, order-stable concat).
+    assert_eq!(serial.scatter_head, parallel.scatter_head);
+}
+
+#[test]
+fn oversubscribed_thread_counts_also_agree() {
+    // More workers than rows/cells exercises the chunking edge cases
+    // (empty chunks, one-element chunks).
+    let few = run_pipeline(2);
+    let many = run_pipeline(32);
+    assert_eq!(few.stats, many.stats);
+    assert_eq!(few.table2, many.table2);
+    assert_eq!(few.cell_counts, many.cell_counts);
+}
+
+/// Replays the checked-in proptest regression
+/// (`crates/demand/tests/proptests.proptest-regressions`, shrunk to
+/// `price = 295.70471053041905`) as a plain test so the historical
+/// failure stays covered even if the regression file is pruned.
+#[test]
+fn affordability_threshold_regression_price_295_70() {
+    use starlink_divide_repro::demand::plans::IspPlan;
+
+    let price = 295.70471053041905_f64;
+    let plan = IspPlan {
+        name: "regression",
+        monthly_usd: price,
+        dl_mbps: 100.0,
+        reliable_broadband: true,
+    };
+    let threshold = plan.min_affordable_income_usd();
+    // The boundary itself is float-rounding sensitive; probe both sides.
+    assert!(plan.affordable_for(threshold * 1.000_001));
+    assert!(!plan.affordable_for(threshold * 0.999));
+    // The threshold is exactly monthly×12/0.02.
+    assert!((threshold - price * 600.0).abs() < 1e-6);
+}

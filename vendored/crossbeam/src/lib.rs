@@ -1,0 +1,84 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! `leo-parallel` only needs crossbeam's scoped-thread API, which since
+//! Rust 1.63 is expressible on `std::thread::scope`. This shim keeps
+//! crossbeam's call shape — `crossbeam::scope(|s| { s.spawn(|_| ...) })`
+//! returning `thread::Result` — so the worker-pool code reads like the
+//! real dependency and can swap back to it when builds regain network
+//! access.
+
+#![forbid(unsafe_code)]
+
+pub use thread::scope;
+
+/// Scoped threads (`crossbeam::thread`).
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A scope handle; spawned threads may borrow from the environment
+    /// (`'env`) and are joined before [`scope`] returns.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure
+        /// receives the scope again so it could spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope; all threads it spawns are joined before
+    /// returning. Returns `Err` with the panic payload if `f` itself
+    /// or any spawned thread panicked, matching crossbeam's contract.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = super::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn child_panic_surfaces_as_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_argument() {
+        let r = super::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+}

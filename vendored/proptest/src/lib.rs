@@ -1,0 +1,433 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements exactly the surface this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (`fn name(pat in strategy, ...) { body }`),
+//! * range strategies over floats and integers, tuple strategies,
+//!   [`Strategy::prop_map`], [`collection::vec`],
+//!   [`collection::hash_set`], and [`string::string_regex`] for simple
+//!   `[class]{lo,hi}` patterns,
+//! * `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Unlike real proptest there is no shrinking and no persistence: each
+//! test runs `PROPTEST_CASES` (default 64) deterministic cases whose
+//! inputs are a pure function of the test name and case index, so a
+//! failure always reproduces under `cargo test <name>`. Regression
+//! seeds checked in under `*.proptest-regressions` are replayed by
+//! dedicated plain tests instead (see `tests/determinism.rs`).
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of values of one type.
+///
+/// The associated `Value` mirrors real proptest, so helper functions
+/// declared as `-> impl Strategy<Value = T>` compile unchanged.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl SampleableRange for f64 {}
+impl SampleableRange for i8 {}
+impl SampleableRange for i16 {}
+impl SampleableRange for i32 {}
+impl SampleableRange for i64 {}
+impl SampleableRange for u8 {}
+impl SampleableRange for u16 {}
+impl SampleableRange for u32 {}
+impl SampleableRange for u64 {}
+impl SampleableRange for usize {}
+impl SampleableRange for isize {}
+
+/// Marker for primitive types whose ranges act as strategies.
+pub trait SampleableRange {}
+
+impl<T> Strategy for Range<T>
+where
+    T: SampleableRange + Copy,
+    Range<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: SampleableRange + Copy,
+    RangeInclusive<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// A bare string literal is a regex strategy, as in real proptest.
+/// The pattern is parsed on each generation; an unsupported pattern
+/// panics, surfacing as a test failure at the use site.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        string::string_regex(self)
+            .unwrap_or_else(|e| panic!("{}", e.0))
+            .generate(rng)
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A collection size: a fixed length or a half-open/inclusive
+    /// range, mirroring real proptest's `Into<SizeRange>` arguments.
+    #[derive(Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl SizeRange {
+        fn draw(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.lo..=self.hi_inclusive)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<i32> for SizeRange {
+        fn from(n: i32) -> Self {
+            usize::try_from(n).expect("negative collection size").into()
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(!r.is_empty(), "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.size.draw(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>` with a target size drawn from
+    /// `size`; duplicates are retried a bounded number of times, so the
+    /// result can fall below the target for very narrow element
+    /// domains (none of this workspace's tests get near that regime).
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`hash_set`].
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> HashSet<S::Value> {
+            let target = self.size.draw(rng);
+            let mut out = HashSet::with_capacity(target);
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < 100 * (target + 1) {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// String strategies (`proptest::string`).
+pub mod string {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Error from an unsupported or malformed pattern.
+    #[derive(Debug)]
+    pub struct Error(pub String);
+
+    /// Strategy for strings matching `[class]{lo,hi}` — the only
+    /// regex shape this workspace uses. The class supports literal
+    /// characters, `a-z` ranges, and `\n`/`\t`/`\\` escapes.
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+        let inner = pattern
+            .strip_prefix('[')
+            .ok_or_else(|| unsupported(pattern))?;
+        let (class, rest) = inner.split_once(']').ok_or_else(|| unsupported(pattern))?;
+        let counts = rest
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .ok_or_else(|| unsupported(pattern))?;
+        let (lo, hi) = counts.split_once(',').ok_or_else(|| unsupported(pattern))?;
+        let lo: usize = lo.trim().parse().map_err(|_| unsupported(pattern))?;
+        let hi: usize = hi.trim().parse().map_err(|_| unsupported(pattern))?;
+
+        let mut alphabet = Vec::new();
+        let mut chars = class.chars().peekable();
+        while let Some(c) = chars.next() {
+            let c = match c {
+                '\\' => match chars.next() {
+                    Some('n') => '\n',
+                    Some('t') => '\t',
+                    Some(e) => e,
+                    None => return Err(unsupported(pattern)),
+                },
+                c => c,
+            };
+            if chars.peek() == Some(&'-') {
+                // Possible range `c-d`; a trailing '-' is a literal.
+                let mut ahead = chars.clone();
+                ahead.next();
+                if let Some(&end) = ahead.peek() {
+                    chars.next();
+                    chars.next();
+                    for v in (c as u32)..=(end as u32) {
+                        if let Some(ch) = char::from_u32(v) {
+                            alphabet.push(ch);
+                        }
+                    }
+                    continue;
+                }
+            }
+            alphabet.push(c);
+        }
+        if alphabet.is_empty() || lo > hi {
+            return Err(unsupported(pattern));
+        }
+        Ok(RegexStrategy { alphabet, lo, hi })
+    }
+
+    fn unsupported(pattern: &str) -> Error {
+        Error(format!("unsupported pattern for vendored proptest: {pattern:?}"))
+    }
+
+    /// See [`string_regex`].
+    pub struct RegexStrategy {
+        alphabet: Vec<char>,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let n = rng.gen_range(self.lo..=self.hi);
+            (0..n)
+                .map(|_| self.alphabet[rng.gen_range(0..self.alphabet.len())])
+                .collect()
+        }
+    }
+}
+
+/// Deterministic per-case generator: a pure function of the test name
+/// and the case index, so any failure reproduces exactly.
+pub fn case_rng(test_name: &str, case: u64) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x1_0000_0001_b3);
+    }
+    StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Number of cases per property (`PROPTEST_CASES`, default 64).
+pub fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...)` becomes
+/// a `#[test]` running [`case_count`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(#[test] fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block)*) => {$(
+        #[test]
+        fn $name() {
+            for case in 0..$crate::case_count() {
+                let rng = &mut $crate::case_rng(stringify!($name), case);
+                $(
+                    #[allow(unused_mut)]
+                    let $pat = $crate::Strategy::generate(&($strat), rng);
+                )+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property (no shrinking; plain assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// The glob import every property-test file uses.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        use rand::Rng;
+        let mut a = super::case_rng("t", 3);
+        let mut b = super::case_rng("t", 3);
+        assert_eq!(a.gen_range(0u64..u64::MAX), b.gen_range(0u64..u64::MAX));
+    }
+
+    #[test]
+    fn string_regex_generates_within_class_and_length() {
+        let s = super::string::string_regex("[ -~\n\"]{0,24}").expect("valid");
+        let mut rng = super::case_rng("string", 0);
+        for _ in 0..200 {
+            let v = super::Strategy::generate(&s, &mut rng);
+            assert!(v.chars().count() <= 24);
+            assert!(v.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_binds_multiple_args(x in 0.0..1.0f64, n in 1u32..10, mut v in crate::collection::vec(0u64..5, 0..4)) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+            v.push(0);
+            prop_assert!(v.len() <= 4);
+        }
+
+        #[test]
+        fn macro_supports_prop_map(p in (0u32..10, 0u32..10).prop_map(|(a, b)| a + b)) {
+            prop_assert!(p < 19);
+        }
+    }
+}
