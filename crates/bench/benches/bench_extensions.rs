@@ -52,8 +52,8 @@ fn bench_extensions(c: &mut Criterion) {
     assert!(s.strict_bound >= s.paper_bound);
     let progs = subsidy::program_table(model);
     assert!(progs[3].annual_cost_usd > progs[0].annual_cost_usd);
-    let path = user_gateway_path(&topo, &gws, &user, 0.0, PathMode::IslRelay)
-        .expect("Montana is covered");
+    let path =
+        user_gateway_path(&topo, &gws, &user, 0.0, PathMode::IslRelay).expect("Montana is covered");
     assert!(path.latency_ms < 50.0);
     let residential = subsidy::size_program(model, IspPlan::starlink_residential());
     println!(

@@ -18,7 +18,10 @@ fn bench_fig2(c: &mut Criterion) {
     let counts = model.dataset.sorted_counts();
     let mut fresh: Vec<u64> = model.dataset.cells.iter().map(|c| c.locations).collect();
     fresh.sort_unstable();
-    assert_eq!(*counts, fresh, "cached sorted_counts diverged from fresh sort");
+    assert_eq!(
+        *counts, fresh,
+        "cached sorted_counts diverged from fresh sort"
+    );
     assert_eq!(*counts, *model.dataset.sorted_counts());
 
     c.bench_function("fig2/single_point", |b| {

@@ -51,6 +51,30 @@ fn bench_substrates(c: &mut Criterion) {
         let caps: Vec<f64> = (0..1000).map(|i| 10.0 + (i % 90) as f64).collect();
         b.iter(|| black_box(max_min_fair(black_box(5000.0), &caps)))
     });
+
+    // Observability overhead: what one span enter/drop and one counter
+    // bump cost while enabled vs disabled. These bound the perturbation
+    // the instrumentation could ever introduce (the determinism tests
+    // prove the *bytes* are identical; this quantifies the time).
+    leo_obs::set_enabled(true);
+    c.bench_function("obs/span_enter_drop_enabled", |b| {
+        b.iter(|| {
+            let _span = leo_obs::span!("bench.span_overhead");
+        })
+    });
+    c.bench_function("obs/counter_add_enabled", |b| {
+        b.iter(|| leo_obs::metrics::counter_add("bench.counter_overhead", 1))
+    });
+    leo_obs::set_enabled(false);
+    c.bench_function("obs/span_enter_drop_disabled", |b| {
+        b.iter(|| {
+            let _span = leo_obs::span!("bench.span_overhead");
+        })
+    });
+    c.bench_function("obs/counter_add_disabled", |b| {
+        b.iter(|| leo_obs::metrics::counter_add("bench.counter_overhead", 1))
+    });
+    leo_obs::set_enabled(true);
 }
 
 criterion_group!(benches, bench_substrates);

@@ -141,8 +141,18 @@ mod tests {
     fn peak_cell_served_only_at_35_to_1_unspread() {
         let m = model();
         let b1 = Beamspread::ONE;
-        assert!(cell_served(&m, 5998, Oversubscription::new(35.0).unwrap(), b1));
-        assert!(!cell_served(&m, 5998, Oversubscription::new(34.0).unwrap(), b1));
+        assert!(cell_served(
+            &m,
+            5998,
+            Oversubscription::new(35.0).unwrap(),
+            b1
+        ));
+        assert!(!cell_served(
+            &m,
+            5998,
+            Oversubscription::new(34.0).unwrap(),
+            b1
+        ));
         assert!(!cell_served(&m, 5998, Oversubscription::FCC_CAP, b1));
     }
 

@@ -51,11 +51,36 @@ impl SatelliteCapacityModel {
     pub fn starlink() -> Self {
         SatelliteCapacityModel {
             bands: vec![
-                SpectrumBand { lo_ghz: 10.7, hi_ghz: 12.75, beams: 4, usage: BandUse::UserTerminals },
-                SpectrumBand { lo_ghz: 19.7, hi_ghz: 20.2, beams: 8, usage: BandUse::UserTerminals },
-                SpectrumBand { lo_ghz: 17.8, hi_ghz: 18.6, beams: 8, usage: BandUse::UserTerminalsOrGateways },
-                SpectrumBand { lo_ghz: 18.8, hi_ghz: 19.3, beams: 4, usage: BandUse::UserTerminalsOrGateways },
-                SpectrumBand { lo_ghz: 71.0, hi_ghz: 76.0, beams: 4, usage: BandUse::Gateways },
+                SpectrumBand {
+                    lo_ghz: 10.7,
+                    hi_ghz: 12.75,
+                    beams: 4,
+                    usage: BandUse::UserTerminals,
+                },
+                SpectrumBand {
+                    lo_ghz: 19.7,
+                    hi_ghz: 20.2,
+                    beams: 8,
+                    usage: BandUse::UserTerminals,
+                },
+                SpectrumBand {
+                    lo_ghz: 17.8,
+                    hi_ghz: 18.6,
+                    beams: 8,
+                    usage: BandUse::UserTerminalsOrGateways,
+                },
+                SpectrumBand {
+                    lo_ghz: 18.8,
+                    hi_ghz: 19.3,
+                    beams: 4,
+                    usage: BandUse::UserTerminalsOrGateways,
+                },
+                SpectrumBand {
+                    lo_ghz: 71.0,
+                    hi_ghz: 76.0,
+                    beams: 4,
+                    usage: BandUse::Gateways,
+                },
             ],
             spectral_efficiency_bps_hz: 4.5,
             beams_per_full_cell: 4,

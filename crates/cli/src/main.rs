@@ -1,7 +1,8 @@
 //! `divide` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! divide [--scale small|paper] [--out DIR] [--threads N] <command>
+//! divide [--scale small|paper] [--out DIR] [--threads N]
+//!        [--quiet|-v] [--metrics-out FILE] <command>
 //!
 //! commands:
 //!   table1          single-satellite capacity model
@@ -24,13 +25,20 @@
 //! ```
 //!
 //! Text renders to stdout; CSV and SVG artifacts land in the output
-//! directory (default `results/`).
+//! directory (default `results/`), along with a `run_manifest.json`
+//! reproducibility record (command line, seed, per-stage wall-clock,
+//! span tree, metrics — see DESIGN.md §8). Progress goes to stderr
+//! through the leveled `leo-obs` logger (`DIVIDE_LOG`, `--quiet`,
+//! `-v`); none of the instrumentation ever changes artifact bytes.
 
+use leo_demand::{BroadbandDataset, SynthConfig};
+use leo_obs::manifest::{self, RunInfo};
 use leo_report::{CsvWriter, Heatmap, LineChart, PointMap, Series, TextTable};
 use starlink_divide::{
     afford, coverage_sweep, demand_stats, findings, sensitivity, sizing, strict, tail, PaperModel,
 };
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// The full command list, kept in one place so `--help` and genuine
 /// usage errors can never drift apart (or omit a command, as an earlier
@@ -44,7 +52,14 @@ options:
   --threads N          worker threads (default: $DIVIDE_THREADS, else
                        available parallelism); output is identical for
                        every N
+  --metrics-out FILE   write a flat JSON bench record of the run
+  --quiet, -q          only warnings and errors on stderr
+  -v, --verbose        debug-level progress on stderr
   -h, --help           print this help and exit
+
+environment:
+  DIVIDE_LOG           stderr threshold: error|warn|info|debug
+  DIVIDE_OBS           off|0|false disables spans/metrics collection
 
 commands:
   table1          single-satellite capacity model
@@ -79,42 +94,71 @@ fn usage(problem: &str) -> ! {
 }
 
 fn main() {
+    let started = Instant::now();
+    let argv: Vec<String> = std::env::args().collect();
     let mut scale = "paper".to_string();
     let mut out = PathBuf::from("results");
     let mut threads: Option<usize> = None;
+    let mut metrics_out: Option<PathBuf> = None;
     let mut command = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
-                scale = args.next().unwrap_or_else(|| usage("--scale needs a value"))
+                scale = args
+                    .next()
+                    .unwrap_or_else(|| usage("--scale needs a value"))
             }
             "--out" => {
                 out = PathBuf::from(args.next().unwrap_or_else(|| usage("--out needs a value")))
             }
             "--threads" => {
-                let v = args.next().unwrap_or_else(|| usage("--threads needs a value"));
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--threads needs a value"));
                 match v.parse::<usize>() {
                     Ok(n) if n > 0 => threads = Some(n),
                     _ => usage("--threads expects a positive integer"),
                 }
             }
-            "-h" | "--help" => help(),
-            cmd if command.is_none() && !cmd.starts_with('-') => {
-                command = Some(cmd.to_string())
+            "--metrics-out" => {
+                metrics_out = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| usage("--metrics-out needs a value")),
+                ))
             }
+            "--quiet" | "-q" => leo_obs::log::set_level(leo_obs::log::Level::Warn),
+            "-v" | "--verbose" => leo_obs::log::set_level(leo_obs::log::Level::Debug),
+            "-h" | "--help" => help(),
+            cmd if command.is_none() && !cmd.starts_with('-') => command = Some(cmd.to_string()),
             other => usage(&format!("unexpected argument {other:?}")),
         }
     }
     let command = command.unwrap_or_else(|| usage("no command given"));
     if !matches!(scale.as_str(), "small" | "paper") {
-        usage(&format!("unknown scale {scale:?} (expected small or paper)"));
+        usage(&format!(
+            "unknown scale {scale:?} (expected small or paper)"
+        ));
     }
     // Reject unknown commands *before* the expensive dataset build.
     const COMMANDS: &[&str] = &[
-        "table1", "table2", "fig1", "fig2", "fig3", "fig4", "findings", "qoe",
-        "orbit-validate", "strict", "sensitivity", "latency", "uplink", "cost",
-        "timeline", "export", "all",
+        "table1",
+        "table2",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "findings",
+        "qoe",
+        "orbit-validate",
+        "strict",
+        "sensitivity",
+        "latency",
+        "uplink",
+        "cost",
+        "timeline",
+        "export",
+        "all",
     ];
     if !COMMANDS.contains(&command.as_str()) {
         usage(&format!("unknown command {command:?}"));
@@ -122,68 +166,124 @@ fn main() {
     // Explicit flag wins; otherwise leo-parallel falls back to
     // $DIVIDE_THREADS, then to available parallelism.
     leo_parallel::set_global_threads(threads);
-    std::fs::create_dir_all(&out).expect("create output directory");
+    // The manifest must describe this invocation only.
+    leo_obs::reset();
+    if let Err(e) = std::fs::create_dir_all(&out) {
+        leo_obs::log_error!("cannot create output directory {}: {e}", out.display());
+        std::process::exit(1);
+    }
 
-    eprintln!("[divide] generating {scale}-scale dataset...");
-    let model = if scale == "paper" {
-        PaperModel::paper_scale()
+    let cfg = if scale == "paper" {
+        SynthConfig::paper()
     } else {
-        PaperModel::test_scale()
+        SynthConfig::small()
     };
-    eprintln!(
-        "[divide] dataset: {} locations in {} demand cells ({} US cells)",
+    let seed = cfg.seed;
+    leo_obs::log_info!("generating {scale}-scale dataset...");
+    let model = {
+        let _stage = leo_obs::span!("stage.dataset");
+        PaperModel::new(BroadbandDataset::generate(&cfg))
+    };
+    leo_obs::log_info!(
+        "dataset: {} locations in {} demand cells ({} US cells)",
         model.dataset.total_locations,
         model.dataset.cells.len(),
         model.dataset.us_cell_count
     );
 
     match command.as_str() {
-        "table1" => table1(&model),
-        "table2" => table2(&model, &out),
-        "fig1" => fig1(&model, &out),
-        "fig2" => fig2(&model, &out),
-        "fig3" => fig3(&model, &out),
-        "fig4" => fig4(&model, &out),
-        "findings" => findings_cmd(&model),
-        "qoe" => qoe(&out),
-        "orbit-validate" => orbit_validate(&out),
-        "strict" => strict_cmd(&model, &out),
-        "sensitivity" => sensitivity_cmd(&model, &out),
-        "latency" => latency(&out),
-        "uplink" => uplink(&model),
-        "cost" => cost_cmd(&model, &out),
-        "timeline" => timeline_cmd(&model),
-        "export" => export(&model, &out),
+        "table1" => stage("table1", || table1(&model)),
+        "table2" => stage("table2", || table2(&model, &out)),
+        "fig1" => stage("fig1", || fig1(&model, &out)),
+        "fig2" => stage("fig2", || fig2(&model, &out)),
+        "fig3" => stage("fig3", || fig3(&model, &out)),
+        "fig4" => stage("fig4", || fig4(&model, &out)),
+        "findings" => stage("findings", || findings_cmd(&model)),
+        "qoe" => stage("qoe", || qoe(&out)),
+        "orbit-validate" => stage("orbit-validate", || orbit_validate(&out)),
+        "strict" => stage("strict", || strict_cmd(&model, &out)),
+        "sensitivity" => stage("sensitivity", || sensitivity_cmd(&model, &out)),
+        "latency" => stage("latency", || latency(&out)),
+        "uplink" => stage("uplink", || uplink(&model)),
+        "cost" => stage("cost", || cost_cmd(&model, &out)),
+        "timeline" => stage("timeline", || timeline_cmd(&model)),
+        "export" => stage("export", || export(&model, &out)),
         "all" => {
-            table1(&model);
-            table2(&model, &out);
-            fig1(&model, &out);
-            fig2(&model, &out);
-            fig3(&model, &out);
-            fig4(&model, &out);
-            findings_cmd(&model);
-            qoe(&out);
-            orbit_validate(&out);
-            strict_cmd(&model, &out);
-            sensitivity_cmd(&model, &out);
-            latency(&out);
-            uplink(&model);
-            cost_cmd(&model, &out);
-            timeline_cmd(&model);
-            export(&model, &out);
+            stage("table1", || table1(&model));
+            stage("table2", || table2(&model, &out));
+            stage("fig1", || fig1(&model, &out));
+            stage("fig2", || fig2(&model, &out));
+            stage("fig3", || fig3(&model, &out));
+            stage("fig4", || fig4(&model, &out));
+            stage("findings", || findings_cmd(&model));
+            stage("qoe", || qoe(&out));
+            stage("orbit-validate", || orbit_validate(&out));
+            stage("strict", || strict_cmd(&model, &out));
+            stage("sensitivity", || sensitivity_cmd(&model, &out));
+            stage("latency", || latency(&out));
+            stage("uplink", || uplink(&model));
+            stage("cost", || cost_cmd(&model, &out));
+            stage("timeline", || timeline_cmd(&model));
+            stage("export", || export(&model, &out));
         }
         other => unreachable!("command {other:?} passed the upfront check"),
     }
+
+    let info = RunInfo {
+        command,
+        scale,
+        seed,
+        threads: leo_parallel::effective_threads(),
+        argv,
+    };
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let manifest_path = out.join("run_manifest.json");
+    match manifest::write_json(&manifest_path, &manifest::run_manifest(&info, wall_ms)) {
+        Ok(()) => leo_obs::log_info!("wrote {}", manifest_path.display()),
+        // The artifacts themselves landed; a missing manifest degrades
+        // reproducibility bookkeeping, not results.
+        Err(e) => leo_obs::log_warn!("cannot write {}: {e}", manifest_path.display()),
+    }
+    if let Some(path) = metrics_out {
+        match manifest::write_json(&path, &manifest::bench_record(&info, wall_ms)) {
+            Ok(()) => leo_obs::log_info!("wrote {}", path.display()),
+            Err(e) => {
+                leo_obs::log_error!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Runs one pipeline stage under a `stage.<name>` span; the manifest's
+/// per-stage wall-clock table is derived from exactly these spans.
+fn stage(name: &str, f: impl FnOnce()) {
+    let _span = leo_obs::span::enter(&format!("stage.{name}"));
+    leo_obs::log_debug!("stage {name}");
+    f();
 }
 
 fn strict_cmd(model: &PaperModel, out: &Path) {
     let rows = strict::strict_table(model);
     let mut t = TextTable::new(
         "EXT-STRICT: paper lower bound vs strict all-cells bound (20:1 cap)",
-        &["beamspread", "paper bound", "strict bound", "underestimate", "binding lat", "beams"],
+        &[
+            "beamspread",
+            "paper bound",
+            "strict bound",
+            "underestimate",
+            "binding lat",
+            "beams",
+        ],
     );
     let mut csv = CsvWriter::new();
-    csv.record(&["beamspread", "paper", "strict", "binding_lat", "binding_beams"]);
+    csv.record(&[
+        "beamspread",
+        "paper",
+        "strict",
+        "binding_lat",
+        "binding_beams",
+    ]);
     for r in &rows {
         t.row(&[
             r.beamspread.to_string(),
@@ -209,10 +309,22 @@ fn sensitivity_cmd(model: &PaperModel, out: &Path) {
     let effs = sensitivity::efficiency_sweep(model, &[3.0, 3.5, 4.0, 4.5, 5.0, 5.5]);
     let mut t = TextTable::new(
         "ABL-EFF: spectral-efficiency ablation",
-        &["bps/Hz", "cell Gbps", "peak oversub", "shed at 20:1", "b=2 capped"],
+        &[
+            "bps/Hz",
+            "cell Gbps",
+            "peak oversub",
+            "shed at 20:1",
+            "b=2 capped",
+        ],
     );
     let mut csv = CsvWriter::new();
-    csv.record(&["bps_hz", "cell_gbps", "peak_oversub", "unserved_at_cap", "b2_capped"]);
+    csv.record(&[
+        "bps_hz",
+        "cell_gbps",
+        "peak_oversub",
+        "unserved_at_cap",
+        "b2_capped",
+    ]);
     for r in &effs {
         t.row(&[
             format!("{:.1}", r.bps_hz),
@@ -263,7 +375,14 @@ fn sensitivity_cmd(model: &PaperModel, out: &Path) {
     let programs = starlink_divide::subsidy::program_table(model);
     let mut t4 = TextTable::new(
         "EXT-SUBSIDY: subsidy program to make each plan affordable everywhere",
-        &["plan", "$/month", "recipients", "mean $/mo", "max $/mo", "program $/yr"],
+        &[
+            "plan",
+            "$/month",
+            "recipients",
+            "mean $/mo",
+            "max $/mo",
+            "program $/yr",
+        ],
     );
     for p in &programs {
         t4.row(&[
@@ -287,10 +406,19 @@ fn latency(out: &Path) {
     let gws = conus_gateways();
     let users = [
         ("rural Montana", leo_geomath::LatLng::new(47.0, -109.0)),
-        ("peak-demand cell (SE Missouri)", leo_geomath::LatLng::new(37.0, -89.5)),
+        (
+            "peak-demand cell (SE Missouri)",
+            leo_geomath::LatLng::new(37.0, -89.5),
+        ),
         ("Appalachia", leo_geomath::LatLng::new(37.5, -81.5)),
-        ("offshore Atlantic (600 km)", leo_geomath::LatLng::new(38.0, -60.0)),
-        ("mid-Atlantic (2,800 km)", leo_geomath::LatLng::new(35.0, -38.0)),
+        (
+            "offshore Atlantic (600 km)",
+            leo_geomath::LatLng::new(38.0, -60.0),
+        ),
+        (
+            "mid-Atlantic (2,800 km)",
+            leo_geomath::LatLng::new(35.0, -38.0),
+        ),
     ];
     let mut t = TextTable::new(
         "EXT-LAT: one-way user->gateway latency, bent pipe vs ISL relay (Gen1 shell)",
@@ -356,10 +484,22 @@ fn cost_cmd(model: &PaperModel, out: &Path) {
     let rho = Oversubscription::FCC_CAP;
     let mut t = TextTable::new(
         "EXT-COST: annualized marginal cost of the demand tail ($1.5M/sat, 5-yr life)",
-        &["beamspread", "segment locs", "marginal sats", "$/location/yr", "fleet avg $/loc/yr"],
+        &[
+            "beamspread",
+            "segment locs",
+            "marginal sats",
+            "$/location/yr",
+            "fleet avg $/loc/yr",
+        ],
     );
     let mut csv = CsvWriter::new();
-    csv.record(&["beamspread", "segment", "locations", "satellites", "usd_per_location_year"]);
+    csv.record(&[
+        "beamspread",
+        "segment",
+        "locations",
+        "satellites",
+        "usd_per_location_year",
+    ]);
     for b in [1u32, 5, 15] {
         let spread = Beamspread::new(b).expect("nonzero");
         let avg = average_cost_per_location_year(model, &fleet, rho, spread);
@@ -372,7 +512,11 @@ fn cost_cmd(model: &PaperModel, out: &Path) {
                 seg.locations.to_string(),
                 seg.satellites.to_string(),
                 format!("{:.0}", seg.usd_per_location_year),
-                if i == 0 { format!("{avg:.0}") } else { String::new() },
+                if i == 0 {
+                    format!("{avg:.0}")
+                } else {
+                    String::new()
+                },
             ]);
             csv.record_display(&[
                 b as f64,
@@ -405,14 +549,17 @@ fn timeline_cmd(model: &PaperModel) {
             row.beamspread.to_string(),
             row.required.to_string(),
             match row.years {
-                Some(y) if y == 0.0 => "already met".to_string(),
+                Some(0.0) => "already met".to_string(),
                 Some(y) => format!("{y:.1}"),
                 None => "never (above ceiling)".to_string(),
             },
         ]);
     }
     print!("{}", t.render());
-    let four_x = LaunchModel { sats_per_year: 8_000.0, ..launch };
+    let four_x = LaunchModel {
+        sats_per_year: 8_000.0,
+        ..launch
+    };
     let b2 = timeline(model, &four_x)
         .into_iter()
         .find(|r| r.beamspread == 2)
@@ -430,7 +577,13 @@ fn uplink(model: &PaperModel) {
     let peak = model.dataset.peak_cell().locations;
     let mut t = TextTable::new(
         "EXT-UL: does the uplink bind? (20 Mbps/location requirement)",
-        &["polarization", "UL Gbps/cell", "peak UL oversub", "UL locs at 20:1", "binding direction"],
+        &[
+            "polarization",
+            "UL Gbps/cell",
+            "peak UL oversub",
+            "UL locs at 20:1",
+            "binding direction",
+        ],
     );
     for reuse in [PolarizationReuse::Single, PolarizationReuse::Dual] {
         let ul = UplinkModel::starlink(&model.capacity, reuse);
@@ -464,8 +617,11 @@ fn export(model: &PaperModel, out: &Path) {
 
 fn write(out: &Path, name: &str, content: &str) {
     let path = out.join(name);
-    std::fs::write(&path, content).expect("write artifact");
-    eprintln!("[divide] wrote {}", path.display());
+    if let Err(e) = std::fs::write(&path, content) {
+        leo_obs::log_error!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    leo_obs::log_info!("wrote {}", path.display());
 }
 
 fn table1(model: &PaperModel) {
@@ -489,7 +645,10 @@ fn table1(model: &PaperModel) {
         "Table 1b: Single-satellite capacity model",
         &["parameter", "value"],
     );
-    t.row(&["UT downlink spectrum".into(), format!("{:.0} MHz", m.ut_downlink_mhz())]);
+    t.row(&[
+        "UT downlink spectrum".into(),
+        format!("{:.0} MHz", m.ut_downlink_mhz()),
+    ]);
     t.row(&[
         "Spectral efficiency".into(),
         format!("{:.1} bps/Hz", m.spectral_efficiency_bps_hz),
@@ -503,7 +662,10 @@ fn table1(model: &PaperModel) {
         format!("{} / {}", m.ut_beams(), m.total_beams()),
     ]);
     t.row(&["Peak cell users".into(), peak.locations.to_string()]);
-    t.row(&["FCC throughput requirement".into(), "100/20 Mbps (DL/UL)".into()]);
+    t.row(&[
+        "FCC throughput requirement".into(),
+        "100/20 Mbps (DL/UL)".into(),
+    ]);
     t.row(&[
         "Peak cell DL demand".into(),
         format!("{:.1} Gbps", peak.locations as f64 * 0.1),
@@ -661,7 +823,12 @@ fn fig4(model: &PaperModel, out: &Path) {
         &["plan", "$/month", "unaffordable", "fraction"],
     );
     let mut csv = CsvWriter::new();
-    csv.record(&["plan", "monthly_usd", "income_proportion", "cumulative_locations"]);
+    csv.record(&[
+        "plan",
+        "monthly_usd",
+        "income_proportion",
+        "cumulative_locations",
+    ]);
     let mut chart = LineChart::new(
         "Fig 4: un(der)served locations unable to afford service",
         "proportion of median income",
@@ -822,7 +989,13 @@ fn orbit_validate(out: &Path) {
     let stats = coverage(&shells, &points, &CoverageConfig::default());
     let mut t2 = TextTable::new(
         "EXT-COV: coverage of the ~8000-satellite constellation (min elev 25 deg)",
-        &["point", "min in view", "mean in view", "analytic mean", "availability"],
+        &[
+            "point",
+            "min in view",
+            "mean in view",
+            "analytic mean",
+            "availability",
+        ],
     );
     for (p, s) in points.iter().zip(&stats) {
         t2.row(&[

@@ -88,7 +88,7 @@ mod tests {
     #[test]
     fn f4_residential_fraction_matches_paper() {
         // Paper: 3.5M of 4.7M (74.5%) cannot afford $120/mo.
-        let a = affordability(&model(), IspPlan::starlink_residential());
+        let a = affordability(model(), IspPlan::starlink_residential());
         let f = a.unaffordable_fraction();
         assert!((f - 0.745).abs() < 0.05, "fraction {f}");
     }
@@ -96,7 +96,7 @@ mod tests {
     #[test]
     fn f4_lifeline_fraction_matches_paper() {
         // Paper: ~3.0M of 4.67M (~64%) even with Lifeline.
-        let a = affordability(&model(), IspPlan::starlink_with_lifeline());
+        let a = affordability(model(), IspPlan::starlink_with_lifeline());
         let f = a.unaffordable_fraction();
         assert!((f - 0.642).abs() < 0.05, "fraction {f}");
     }
@@ -104,7 +104,7 @@ mod tests {
     #[test]
     fn f4_cable_plans_affordable_almost_everywhere() {
         for plan in [IspPlan::xfinity_300(), IspPlan::spectrum_premier()] {
-            let a = affordability(&model(), plan.clone());
+            let a = affordability(model(), plan.clone());
             assert!(
                 a.unaffordable_fraction() < 1e-3,
                 "{}: {}",
@@ -117,14 +117,14 @@ mod tests {
     #[test]
     fn lifeline_strictly_helps() {
         let m = model();
-        let without = affordability(&m, IspPlan::starlink_residential());
-        let with = affordability(&m, IspPlan::starlink_with_lifeline());
+        let without = affordability(m, IspPlan::starlink_residential());
+        let with = affordability(m, IspPlan::starlink_with_lifeline());
         assert!(with.unaffordable_locations < without.unaffordable_locations);
     }
 
     #[test]
     fn cdf_is_monotone_and_complete() {
-        let a = affordability(&model(), IspPlan::starlink_residential());
+        let a = affordability(model(), IspPlan::starlink_residential());
         assert!(!a.cdf.is_empty());
         for w in a.cdf.windows(2) {
             assert!(w[0].0 <= w[1].0);
@@ -135,7 +135,7 @@ mod tests {
 
     #[test]
     fn figure4_is_ordered_by_price_and_hardship() {
-        let f4 = figure4(&model());
+        let f4 = figure4(model());
         assert_eq!(f4.len(), 4);
         for w in f4.windows(2) {
             assert!(w[0].plan.monthly_usd <= w[1].plan.monthly_usd);
@@ -146,7 +146,7 @@ mod tests {
     #[test]
     fn totals_match_dataset() {
         let m = model();
-        let a = affordability(&m, IspPlan::starlink_residential());
+        let a = affordability(m, IspPlan::starlink_residential());
         assert_eq!(a.total_locations, m.dataset.total_locations);
     }
 }

@@ -156,10 +156,8 @@ mod tests {
         let m = model();
         let cost = FleetCostModel::starlink_estimate();
         let rho = Oversubscription::FCC_CAP;
-        let narrow =
-            marginal_cost_curve(m, &cost, rho, Beamspread::new(1).unwrap(), 1)[0];
-        let wide =
-            marginal_cost_curve(m, &cost, rho, Beamspread::new(15).unwrap(), 1)[0];
+        let narrow = marginal_cost_curve(m, &cost, rho, Beamspread::new(1).unwrap(), 1)[0];
+        let wide = marginal_cost_curve(m, &cost, rho, Beamspread::new(15).unwrap(), 1)[0];
         assert!(narrow.usd_per_location_year > wide.usd_per_location_year);
     }
 }

@@ -51,6 +51,11 @@ pub fn sweep(model: &PaperModel) -> CoverageSweep {
 /// pure function of `(counts, b, ρ)`, so the result is identical at any
 /// thread count.
 pub fn sweep_over(model: &PaperModel, beamspreads: Vec<u32>, oversubs: Vec<u32>) -> CoverageSweep {
+    let _span = leo_obs::span!("fig2.sweep");
+    leo_obs::metrics::counter_add(
+        "fig2.grid_points",
+        (beamspreads.len() * oversubs.len()) as u64,
+    );
     let counts = model.dataset.sorted_counts();
     let fraction = par_map(&beamspreads, |_, &b| {
         let spread = Beamspread::new(b).expect("beamspread axis value must be >= 1");
@@ -91,7 +96,7 @@ mod tests {
     fn fig2_corners_match_paper_shape() {
         // Paper Fig 2 colorbar spans ~0.36 (bottom-left, high spread /
         // low oversub) to ~0.99 (top-right).
-        let s = sweep(&model());
+        let s = sweep(model());
         let bottom_left = s.at(14, 5).unwrap();
         assert!((bottom_left - 0.36).abs() < 0.05, "bl {bottom_left}");
         // At test scale the six anchors weigh ~1.5% of the ~400 demand
@@ -102,7 +107,7 @@ mod tests {
 
     #[test]
     fn fraction_is_monotone_in_both_axes() {
-        let s = sweep(&model());
+        let s = sweep(model());
         for bi in 0..s.beamspreads.len() {
             for ri in 1..s.oversubs.len() {
                 assert!(s.fraction[bi][ri] >= s.fraction[bi][ri - 1]);
@@ -119,12 +124,7 @@ mod tests {
     fn unspread_at_cap_serves_all_but_over_cap_cells() {
         let m = model();
         let counts = m.dataset.sorted_counts();
-        let f = fraction_served(
-            &m,
-            &counts,
-            Oversubscription::FCC_CAP,
-            Beamspread::ONE,
-        );
+        let f = fraction_served(m, &counts, Oversubscription::FCC_CAP, Beamspread::ONE);
         // Exactly the 5 over-cap anchor cells are unserved.
         let expect = 1.0 - 5.0 / counts.len() as f64;
         assert!((f - expect).abs() < 1e-9, "f {f} expect {expect}");
@@ -132,7 +132,7 @@ mod tests {
 
     #[test]
     fn at_handles_missing_axis_values() {
-        let s = sweep(&model());
+        let s = sweep(model());
         assert!(s.at(99, 5).is_none());
         assert!(s.at(5, 99).is_none());
         assert!(s.at(5, 20).is_some());
@@ -142,7 +142,7 @@ mod tests {
     fn full_capacity_no_oversub_serves_small_cells_only() {
         let m = model();
         let counts = m.dataset.sorted_counts();
-        let f = fraction_served(&m, &counts, Oversubscription::ONE, Beamspread::ONE);
+        let f = fraction_served(m, &counts, Oversubscription::ONE, Beamspread::ONE);
         // 17.325 Gbps at 1:1 = 173 locations; from the calibrated curve
         // F(173) ≈ 0.36 + (log(173/61)/log(552/61))·0.54 ≈ 0.61.
         assert!((0.45..0.75).contains(&f), "f {f}");

@@ -94,7 +94,7 @@ mod tests {
     #[test]
     fn stats_are_internally_consistent() {
         let m = model();
-        let s = demand_stats(&m);
+        let s = demand_stats(m);
         assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
         assert_eq!(s.max, 5998);
         assert_eq!(s.total_locations, 120_000);
@@ -105,7 +105,7 @@ mod tests {
     #[test]
     fn cdf_is_monotone_and_complete() {
         let m = model();
-        let cdf = cdf_series(&m, 200);
+        let cdf = cdf_series(m, 200);
         assert!(!cdf.is_empty());
         for w in cdf.windows(2) {
             assert!(w[0].0 <= w[1].0);
@@ -118,7 +118,7 @@ mod tests {
     #[test]
     fn map_series_covers_all_demand_cells() {
         let m = model();
-        let map = map_series(&m);
+        let map = map_series(m);
         assert_eq!(map.len(), m.dataset.cells.len());
         // All within the CONUS bounding box.
         for &(lat, lng, _) in &map {

@@ -5,9 +5,7 @@
 
 use crate::{afford, sizing, tail, PaperModel, CURRENT_CONSTELLATION_SIZE};
 use leo_capacity::beamspread::Beamspread;
-use leo_capacity::oversub::{
-    max_locations_servable, required_oversubscription, Oversubscription,
-};
+use leo_capacity::oversub::{max_locations_servable, required_oversubscription, Oversubscription};
 use leo_capacity::DeploymentPolicy;
 use leo_demand::IspPlan;
 
@@ -146,7 +144,7 @@ mod tests {
 
     #[test]
     fn f1_matches_paper() {
-        let f = finding1(&model());
+        let f = finding1(model());
         assert_eq!(f.peak_locations, 5998);
         assert!((f.peak_demand_gbps - 599.8).abs() < 1e-9);
         assert!((f.peak_oversub - 34.62).abs() < 0.1);
@@ -160,14 +158,14 @@ mod tests {
 
     #[test]
     fn f2_matches_paper() {
-        let f = finding2(&model());
+        let f = finding2(model());
         assert!(f.required_b2_capped > 40_000, "{}", f.required_b2_capped);
         assert!(f.additional_needed > 32_000);
     }
 
     #[test]
     fn f3_tail_is_expensive() {
-        let f = finding3(&model());
+        let f = finding3(model());
         assert!(f.tail_locations >= 3_000);
         assert!(
             (100..20_000).contains(&f.marginal_satellites),
@@ -178,7 +176,7 @@ mod tests {
 
     #[test]
     fn f4_shapes() {
-        let f = finding4(&model());
+        let f = finding4(model());
         let frac = f.unaffordable_residential as f64 / f.total_locations as f64;
         assert!((frac - 0.745).abs() < 0.05, "residential fraction {frac}");
         assert!(f.unaffordable_with_lifeline < f.unaffordable_residential);

@@ -8,9 +8,7 @@
 
 use crate::{afford, sizing, PaperModel};
 use leo_capacity::beamspread::Beamspread;
-use leo_capacity::oversub::{
-    max_locations_servable, required_oversubscription, Oversubscription,
-};
+use leo_capacity::oversub::{max_locations_servable, required_oversubscription, Oversubscription};
 use leo_capacity::SatelliteCapacityModel;
 use leo_demand::IspPlan;
 use leo_orbit::constellation_size_for_density;
@@ -35,6 +33,7 @@ pub struct EfficiencyRow {
 /// published estimates range roughly 3–5.5 depending on modulation and
 /// weather margin.
 pub fn efficiency_sweep(model: &PaperModel, efficiencies: &[f64]) -> Vec<EfficiencyRow> {
+    let _span = leo_obs::span!("sensitivity.efficiency");
     par_map(efficiencies, |_, &eff| {
         let mut cap = SatelliteCapacityModel::starlink();
         cap.spectral_efficiency_bps_hz = eff;
@@ -86,10 +85,8 @@ impl PaperModelView<'_> {
             Oversubscription::FCC_CAP,
         )
         .unwrap_or(self.capacity.beams_per_full_cell);
-        let cells =
-            leo_capacity::beamspread::cells_per_satellite(self.capacity, beams, spread);
-        let density =
-            1.0 / (cells as f64 * leo_hexgrid::STARLINK_CELL_AREA_KM2);
+        let cells = leo_capacity::beamspread::cells_per_satellite(self.capacity, beams, spread);
+        let density = 1.0 / (cells as f64 * leo_hexgrid::STARLINK_CELL_AREA_KM2);
         constellation_size_for_density(
             density,
             peak.center.lat_deg(),
@@ -119,6 +116,7 @@ pub struct CellSizeRow {
 /// bound scales inversely with cell area, so coarser cells *reduce*
 /// the satellite count while worsening per-cell oversubscription.
 pub fn cell_size_sweep(model: &PaperModel, resolutions: &[u8]) -> Vec<CellSizeRow> {
+    let _span = leo_obs::span!("sensitivity.cell_size");
     resolutions
         .iter()
         .map(|&res| {
@@ -159,6 +157,7 @@ pub struct ThresholdRow {
 
 /// Sweeps the affordability threshold around the A4AI 2 % rule.
 pub fn threshold_sweep(model: &PaperModel, thresholds: &[f64]) -> Vec<ThresholdRow> {
+    let _span = leo_obs::span!("sensitivity.threshold");
     let plan = IspPlan::starlink_residential();
     let result = afford::affordability(model, plan.clone());
     thresholds
@@ -190,7 +189,7 @@ mod tests {
 
     #[test]
     fn efficiency_sweep_monotone() {
-        let rows = efficiency_sweep(&model(), &[3.5, 4.0, 4.5, 5.0, 5.5]);
+        let rows = efficiency_sweep(model(), &[3.5, 4.0, 4.5, 5.0, 5.5]);
         assert_eq!(rows.len(), 5);
         for w in rows.windows(2) {
             assert!(w[1].cell_capacity_gbps > w[0].cell_capacity_gbps);
@@ -205,14 +204,14 @@ mod tests {
 
     #[test]
     fn lower_efficiency_worsens_everything() {
-        let rows = efficiency_sweep(&model(), &[3.0, 4.5]);
+        let rows = efficiency_sweep(model(), &[3.0, 4.5]);
         assert!(rows[0].peak_oversub > 50.0, "{}", rows[0].peak_oversub);
         assert!(rows[0].unserved_at_cap > rows[1].unserved_at_cap);
     }
 
     #[test]
     fn cell_size_sweep_scales_inversely() {
-        let rows = cell_size_sweep(&model(), &[4, 5, 6]);
+        let rows = cell_size_sweep(model(), &[4, 5, 6]);
         // Res 4 cells are 7x larger ⇒ ~7x fewer satellites than res 6
         // differs by 49x.
         let rel = (rows[0].b2_capped as f64 * 7.0 - rows[1].b2_capped as f64).abs()
@@ -221,7 +220,7 @@ mod tests {
         assert!(rows[2].b2_capped > rows[1].b2_capped);
         // Res 5 matches Table 2.
         let t2 = sizing::constellation_size(
-            &model(),
+            model(),
             leo_capacity::DeploymentPolicy::fcc_capped(),
             Beamspread::new(2).unwrap(),
         );
@@ -231,12 +230,12 @@ mod tests {
     #[test]
     fn threshold_sweep_monotone_and_anchored() {
         let m = model();
-        let rows = threshold_sweep(&m, &[0.01, 0.02, 0.03, 0.05]);
+        let rows = threshold_sweep(m, &[0.01, 0.02, 0.03, 0.05]);
         for w in rows.windows(2) {
             assert!(w[1].unaffordable <= w[0].unaffordable);
         }
         // The 2% row matches F4.
-        let f4 = crate::findings::finding4(&m);
+        let f4 = crate::findings::finding4(m);
         assert_eq!(rows[1].unaffordable, f4.unaffordable_residential);
         // At 5% nearly everyone can afford it ($120·12/0.05 = $28.8k).
         assert!(rows[3].fraction < 0.05, "{}", rows[3].fraction);

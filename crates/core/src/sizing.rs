@@ -61,14 +61,11 @@ pub fn constellation_size_at(
 
 /// The binding (peak) cell of a deployment policy: the cell whose
 /// *served* demand is largest.
-pub fn binding_cell<'a>(model: &'a PaperModel, policy: DeploymentPolicy) -> &'a CellDemand {
+pub fn binding_cell(model: &PaperModel, policy: DeploymentPolicy) -> &CellDemand {
     match policy {
         DeploymentPolicy::FullService => model.dataset.peak_cell(),
         DeploymentPolicy::OversubCap(cap) => {
-            let limit = max_locations_servable(
-                model.capacity.max_cell_capacity_gbps(),
-                cap,
-            );
+            let limit = max_locations_servable(model.capacity.max_cell_capacity_gbps(), cap);
             model
                 .dataset
                 .peak_cell_at_most(limit)
@@ -78,11 +75,7 @@ pub fn binding_cell<'a>(model: &'a PaperModel, policy: DeploymentPolicy) -> &'a 
 }
 
 /// Constellation size for a deployment policy and beamspread factor.
-pub fn constellation_size(
-    model: &PaperModel,
-    policy: DeploymentPolicy,
-    spread: Beamspread,
-) -> u64 {
+pub fn constellation_size(model: &PaperModel, policy: DeploymentPolicy, spread: Beamspread) -> u64 {
     let peak = binding_cell(model, policy);
     // The peak cell's beam complement: enough beams for its served
     // demand at the FCC benchmark (or the policy cap), topping out at 4.
@@ -123,20 +116,30 @@ mod tests {
     fn table2_matches_paper_within_one_percent() {
         // Paper values: full service {79287, 40611, 16486, 8284, 5532},
         // capped {80567, 41261, 16750, 8417, 5621}.
-        let rows = table2(&model());
+        let rows = table2(model());
         let paper_full = [79_287u64, 40_611, 16_486, 8_284, 5_532];
         let paper_capped = [80_567u64, 41_261, 16_750, 8_417, 5_621];
         for ((row, &pf), &pc) in rows.iter().zip(&paper_full).zip(&paper_capped) {
             let rel_f = (row.full_service as f64 - pf as f64).abs() / pf as f64;
             let rel_c = (row.capped as f64 - pc as f64).abs() / pc as f64;
-            assert!(rel_f < 0.01, "b={} full {} vs paper {pf}", row.beamspread, row.full_service);
-            assert!(rel_c < 0.01, "b={} capped {} vs paper {pc}", row.beamspread, row.capped);
+            assert!(
+                rel_f < 0.01,
+                "b={} full {} vs paper {pf}",
+                row.beamspread,
+                row.full_service
+            );
+            assert!(
+                rel_c < 0.01,
+                "b={} capped {} vs paper {pc}",
+                row.beamspread,
+                row.capped
+            );
         }
     }
 
     #[test]
     fn capped_scenario_needs_slightly_more_satellites() {
-        for row in table2(&model()) {
+        for row in table2(model()) {
             assert!(
                 row.capped > row.full_service,
                 "b={}: capped {} vs full {}",
@@ -151,7 +154,7 @@ mod tests {
 
     #[test]
     fn size_decreases_with_beamspread() {
-        let rows = table2(&model());
+        let rows = table2(model());
         for w in rows.windows(2) {
             assert!(w[0].full_service > w[1].full_service);
             assert!(w[0].capped > w[1].capped);
@@ -165,7 +168,7 @@ mod tests {
         // 32,000 beyond the current ~8,000.
         let m = model();
         let b2 = constellation_size(
-            &m,
+            m,
             DeploymentPolicy::fcc_capped(),
             Beamspread::new(2).unwrap(),
         );
@@ -176,9 +179,9 @@ mod tests {
     #[test]
     fn binding_cells_are_the_anchors() {
         let m = model();
-        let full = binding_cell(&m, DeploymentPolicy::full_service());
+        let full = binding_cell(m, DeploymentPolicy::full_service());
         assert_eq!(full.locations, 5998);
-        let capped = binding_cell(&m, DeploymentPolicy::fcc_capped());
+        let capped = binding_cell(m, DeploymentPolicy::fcc_capped());
         assert_eq!(capped.locations, 3460);
         assert!(capped.center.lat_deg() < full.center.lat_deg());
     }
@@ -189,7 +192,7 @@ mod tests {
         let spread = Beamspread::new(5).unwrap();
         let mut prev = u64::MAX;
         for beams in [4u32, 3, 2, 1] {
-            let n = constellation_size_at(&m, 37.0, beams, spread).unwrap();
+            let n = constellation_size_at(m, 37.0, beams, spread).unwrap();
             assert!(n < prev, "beams {beams}: {n}");
             prev = n;
         }
@@ -198,7 +201,7 @@ mod tests {
     #[test]
     fn polar_latitude_is_rejected() {
         let m = model();
-        assert!(constellation_size_at(&m, 80.0, 4, Beamspread::ONE).is_none());
+        assert!(constellation_size_at(m, 80.0, 4, Beamspread::ONE).is_none());
     }
 }
 

@@ -50,20 +50,15 @@ impl StrictBound {
 pub fn strict_bound(model: &PaperModel, spread: Beamspread) -> StrictBound {
     let oversub = Oversubscription::FCC_CAP;
     let limit = max_locations_servable(model.capacity.max_cell_capacity_gbps(), oversub);
-    let paper = sizing::constellation_size(
-        model,
-        leo_capacity::DeploymentPolicy::fcc_capped(),
-        spread,
-    );
+    let paper =
+        sizing::constellation_size(model, leo_capacity::DeploymentPolicy::fcc_capped(), spread);
     let mut best = (0u64, 0.0f64, 0u32, 0u64);
     for c in &model.dataset.cells {
         let served = c.locations.min(limit);
         let beams = beams_required(&model.capacity, served, oversub)
             .expect("served fits by construction")
             .max(1); // every covered cell holds at least a beam share
-        if let Some(n) =
-            sizing::constellation_size_at(model, c.center.lat_deg(), beams, spread)
-        {
+        if let Some(n) = sizing::constellation_size_at(model, c.center.lat_deg(), beams, spread) {
             if n > best.0 {
                 best = (n, c.center.lat_deg(), beams, c.locations);
             }
@@ -97,7 +92,7 @@ mod tests {
 
     #[test]
     fn strict_never_below_paper() {
-        for row in strict_table(&model()) {
+        for row in strict_table(model()) {
             assert!(row.strict_bound >= row.paper_bound, "{row:?}");
         }
     }
@@ -108,7 +103,7 @@ mod tests {
         // 36.43° N capped peak: either a southern low-beam coverage
         // cell dominates (paper-scale datasets have cells down to
         // ~25° N) or the peak itself remains binding.
-        let row = strict_bound(&model(), Beamspread::new(5).unwrap());
+        let row = strict_bound(model(), Beamspread::new(5).unwrap());
         assert!(
             row.binding_lat_deg <= 36.5,
             "binding latitude {}",
@@ -121,7 +116,7 @@ mod tests {
     fn underestimate_is_measurable_but_bounded() {
         // A meaningful gap (the paper's assumption is generous), yet
         // the same order of magnitude (the bound is not vacuous).
-        for row in strict_table(&model()) {
+        for row in strict_table(model()) {
             let u = row.underestimate_fraction();
             assert!((0.0..0.6).contains(&u), "b={} u={u}", row.beamspread);
         }
@@ -129,7 +124,7 @@ mod tests {
 
     #[test]
     fn strict_bound_decreases_with_beamspread() {
-        let rows = strict_table(&model());
+        let rows = strict_table(model());
         for w in rows.windows(2) {
             assert!(w[0].strict_bound > w[1].strict_bound);
         }

@@ -64,22 +64,20 @@ pub fn tail_curve(
     // Candidate peak cells: served demand needs ≥ 2 dedicated beams.
     // Each imposes a static bound (constellation needed while it is
     // served). Per-cell bounds are independent, so the scan fans out.
-    let mut candidates: Vec<(u64, u64)> =
-        par_map(&model.dataset.cells, |_, c| {
-            let served = c.locations.min(limit);
-            let beams = beams_required(&model.capacity, served, oversub)
-                .expect("served demand fits by construction");
-            if beams < 2 {
-                return None;
-            }
-            let bound =
-                sizing::constellation_size_at(model, c.center.lat_deg(), beams, spread)
-                    .expect("CONUS latitude");
-            Some((bound, served))
-        })
-        .into_iter()
-        .flatten()
-        .collect();
+    let mut candidates: Vec<(u64, u64)> = par_map(&model.dataset.cells, |_, c| {
+        let served = c.locations.min(limit);
+        let beams = beams_required(&model.capacity, served, oversub)
+            .expect("served demand fits by construction");
+        if beams < 2 {
+            return None;
+        }
+        let bound = sizing::constellation_size_at(model, c.center.lat_deg(), beams, spread)
+            .expect("CONUS latitude");
+        Some((bound, served))
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     // Partial-service excess is unserved from the start.
     let baseline: u64 = model
         .dataset
@@ -115,8 +113,15 @@ pub fn tail_curve(
 /// 20:1 plus beamspread 5 at 15:1. The six curves are independent and
 /// computed in parallel.
 pub fn figure3(model: &PaperModel, max_unserved: u64) -> Vec<TailCurve> {
-    let specs: [(f64, u32); 6] =
-        [(20.0, 1), (20.0, 2), (20.0, 5), (20.0, 10), (20.0, 15), (15.0, 5)];
+    let _span = leo_obs::span!("fig3.curves");
+    let specs: [(f64, u32); 6] = [
+        (20.0, 1),
+        (20.0, 2),
+        (20.0, 5),
+        (20.0, 10),
+        (20.0, 15),
+        (15.0, 5),
+    ];
     par_map(&specs, |_, &(rho, b)| {
         tail_curve(
             model,
@@ -161,7 +166,7 @@ mod tests {
     fn curve_is_monotone() {
         let m = model();
         let c = tail_curve(
-            &m,
+            m,
             Oversubscription::FCC_CAP,
             Beamspread::new(5).unwrap(),
             50_000,
@@ -178,7 +183,7 @@ mod tests {
         // At 20:1 the partial-service excess is the 5,103 locations the
         // anchors hold beyond 3,465 each.
         let m = model();
-        let c = tail_curve(&m, Oversubscription::FCC_CAP, Beamspread::ONE, 10_000);
+        let c = tail_curve(m, Oversubscription::FCC_CAP, Beamspread::ONE, 10_000);
         assert_eq!(c.points[0].unserved, 5_103);
     }
 
@@ -187,12 +192,9 @@ mod tests {
         let m = model();
         for b in [1u32, 2, 5] {
             let spread = Beamspread::new(b).unwrap();
-            let c = tail_curve(&m, Oversubscription::FCC_CAP, spread, 1_000);
-            let t2 = sizing::constellation_size(
-                &m,
-                leo_capacity::DeploymentPolicy::fcc_capped(),
-                spread,
-            );
+            let c = tail_curve(m, Oversubscription::FCC_CAP, spread, 1_000);
+            let t2 =
+                sizing::constellation_size(m, leo_capacity::DeploymentPolicy::fcc_capped(), spread);
             assert_eq!(c.points[0].constellation, t2, "b={b}");
         }
     }
@@ -203,11 +205,16 @@ mod tests {
         // the bound to the 37.0° N peak cell's — a couple hundred
         // satellites at beamspread 5, over a thousand at beamspread 1.
         let m = model();
-        let c5 = tail_curve(&m, Oversubscription::FCC_CAP, Beamspread::new(5).unwrap(), u64::MAX);
+        let c5 = tail_curve(
+            m,
+            Oversubscription::FCC_CAP,
+            Beamspread::new(5).unwrap(),
+            u64::MAX,
+        );
         let step5 = c5.points[0].constellation - c5.points[1].constellation;
         assert!((150..500).contains(&step5), "b=5 first step {step5}");
         assert_eq!(c5.points[1].unserved - c5.points[0].unserved, 3_460);
-        let c1 = tail_curve(&m, Oversubscription::FCC_CAP, Beamspread::ONE, u64::MAX);
+        let c1 = tail_curve(m, Oversubscription::FCC_CAP, Beamspread::ONE, u64::MAX);
         let step1 = c1.points[0].constellation - c1.points[1].constellation;
         assert!((800..2_500).contains(&step1), "b=1 first step {step1}");
     }
@@ -218,7 +225,7 @@ mod tests {
         // 3-beam class: a ≥4% drop at beamspread 10.
         let m = model();
         let c = tail_curve(
-            &m,
+            m,
             Oversubscription::FCC_CAP,
             Beamspread::new(10).unwrap(),
             u64::MAX,
@@ -235,16 +242,16 @@ mod tests {
     fn tighter_oversub_needs_more_satellites() {
         let m = model();
         let spread = Beamspread::new(5).unwrap();
-        let c20 = tail_curve(&m, Oversubscription::FCC_CAP, spread, 1).points[0].constellation;
+        let c20 = tail_curve(m, Oversubscription::FCC_CAP, spread, 1).points[0].constellation;
         let c15 =
-            tail_curve(&m, Oversubscription::new(15.0).unwrap(), spread, 1).points[0].constellation;
+            tail_curve(m, Oversubscription::new(15.0).unwrap(), spread, 1).points[0].constellation;
         assert!(c15 >= c20, "15:1 {c15} vs 20:1 {c20}");
     }
 
     #[test]
     fn figure3_family_has_six_curves() {
         let m = model();
-        let f = figure3(&m, 30_000);
+        let f = figure3(m, 30_000);
         assert_eq!(f.len(), 6);
         // Curves ordered by beamspread are ordered by constellation.
         let starts: Vec<u64> = f.iter().map(|c| c.points[0].constellation).collect();
@@ -257,7 +264,7 @@ mod tests {
         // beamspread 5 (and >1,000 at beamspread 1).
         let m = model();
         let (sats, locs) = marginal_cost_of_tail(
-            &m,
+            m,
             Oversubscription::FCC_CAP,
             Beamspread::new(5).unwrap(),
             3_000,

@@ -96,7 +96,10 @@ impl SeatIndex {
             .iter()
             .enumerate()
             .map(|(i, s)| (leo_geomath::great_circle_distance_km(p, s), i))
-            .fold((f64::INFINITY, 0), |acc, x| if x.0 < acc.0 { x } else { acc });
+            .fold(
+                (f64::INFINITY, 0),
+                |acc, x| if x.0 < acc.0 { x } else { acc },
+            );
         id as u32
     }
 

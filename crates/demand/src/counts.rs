@@ -66,12 +66,36 @@ impl CountCalibration {
                 (1.0, 2550.0),
             ]),
             anchors: vec![
-                AnchorCell { count: 5998, lat: 37.00, lng: -89.50 }, // peak (SE Missouri)
-                AnchorCell { count: 4450, lat: 38.81, lng: -83.30 },
-                AnchorCell { count: 4205, lat: 40.23, lng: -76.20 },
-                AnchorCell { count: 3950, lat: 41.04, lng: -93.50 },
-                AnchorCell { count: 3825, lat: 39.35, lng: -101.10 },
-                AnchorCell { count: 3460, lat: 36.43, lng: -85.00 }, // largest servable at 20:1
+                AnchorCell {
+                    count: 5998,
+                    lat: 37.00,
+                    lng: -89.50,
+                }, // peak (SE Missouri)
+                AnchorCell {
+                    count: 4450,
+                    lat: 38.81,
+                    lng: -83.30,
+                },
+                AnchorCell {
+                    count: 4205,
+                    lat: 40.23,
+                    lng: -76.20,
+                },
+                AnchorCell {
+                    count: 3950,
+                    lat: 41.04,
+                    lng: -93.50,
+                },
+                AnchorCell {
+                    count: 3825,
+                    lat: 39.35,
+                    lng: -101.10,
+                },
+                AnchorCell {
+                    count: 3460,
+                    lat: 36.43,
+                    lng: -85.00,
+                }, // largest servable at 20:1
             ],
         }
     }
@@ -118,8 +142,12 @@ impl CountCalibration {
         let mut i = 0usize;
         while sum != target {
             // Walk outward from the middle: mid, mid+1, mid-1, mid+2, ...
-            let step = (i + 1) / 2;
-            let idx = if i % 2 == 0 { mid + step } else { mid - step };
+            let step = i.div_ceil(2);
+            let idx = if i.is_multiple_of(2) {
+                mid + step
+            } else {
+                mid - step
+            };
             let idx = idx.min(n - 1);
             if sum < target {
                 counts[idx] += 1;

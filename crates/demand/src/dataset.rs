@@ -135,10 +135,17 @@ impl BroadbandDataset {
     }
 
     /// Generates the dataset for `config`. Deterministic in the seed.
+    /// Each internal stage reports a `demand.*` span and counters to
+    /// `leo-obs`; the instrumentation only feeds the run manifest and
+    /// never touches the generated data.
     pub fn generate(config: &SynthConfig) -> Self {
+        let _span = leo_obs::span!("demand.generate");
         let grid = GeoHexGrid::starlink();
         let poly = geography::conus_polygon();
-        let us_cells = grid.polyfill(&poly, STARLINK_RESOLUTION);
+        let us_cells = {
+            let _span = leo_obs::span!("demand.polyfill");
+            grid.polyfill(&poly, STARLINK_RESOLUTION)
+        };
         let us_cell_count = us_cells.len();
 
         // -- Anchor cells -------------------------------------------------
@@ -164,20 +171,24 @@ impl BroadbandDataset {
             .copied()
             .filter(|id| !counts_by_cell.contains_key(id))
             .collect();
-        let mut scored: Vec<(f64, CellId, LatLng)> = par_map(&candidates, |_, &id| {
-            let c = grid.cell_center(id);
-            let remote = geography::distance_to_nearest_metro_km(&c);
-            let mut rng = StdRng::seed_from_u64(mix64(jitter_seed, id.as_u64()));
-            let score =
-                field.value(&c) + 0.6 * (remote / 400.0).min(2.0) + rng.gen_range(0.0..0.35);
-            (score, id, c)
-        });
-        // Highest score first; ties broken by cell id for determinism.
-        scored.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.1.cmp(&b.1))
-        });
+        let scored: Vec<(f64, CellId, LatLng)> = {
+            let _span = leo_obs::span!("demand.score_cells");
+            let mut scored = par_map(&candidates, |_, &id| {
+                let c = grid.cell_center(id);
+                let remote = geography::distance_to_nearest_metro_km(&c);
+                let mut rng = StdRng::seed_from_u64(mix64(jitter_seed, id.as_u64()));
+                let score =
+                    field.value(&c) + 0.6 * (remote / 400.0).min(2.0) + rng.gen_range(0.0..0.35);
+                (score, id, c)
+            });
+            // Highest score first; ties broken by cell id for determinism.
+            scored.sort_by(|a, b| {
+                b.0.partial_cmp(&a.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.1.cmp(&b.1))
+            });
+            scored
+        };
 
         let counts = config.calibration.regular_counts(); // ascending
         assert!(
@@ -201,6 +212,7 @@ impl BroadbandDataset {
         // bound would overtake the calibrated anchors' (the 36.43° N
         // capped peak and the 37.0° N full-service peak), preserving
         // Fig 3's clean first step.
+        let _assign_span = leo_obs::span!("demand.assign_counts");
         let band_for_count = |count: u64| -> usize {
             if count >= 1733 {
                 0
@@ -245,6 +257,8 @@ impl BroadbandDataset {
         }
 
         // -- Counties -----------------------------------------------------
+        drop(_assign_span);
+        let _county_span = leo_obs::span!("demand.counties");
         let seats = generate_seats(config.seed ^ 0xC0FFEE, config.n_counties, &poly);
         let seat_index = SeatIndex::new(seats);
         // Sort the demand cells before the parallel Voronoi lookup so
@@ -280,8 +294,13 @@ impl BroadbandDataset {
                 remoteness_km: geography::distance_to_nearest_metro_km(seat),
             })
             .collect();
+        drop(_county_span);
 
-        Self::from_parts(grid, cells, us_cell_count, counties)
+        let ds = Self::from_parts(grid, cells, us_cell_count, counties);
+        leo_obs::metrics::counter_add("demand.us_cells", ds.us_cell_count as u64);
+        leo_obs::metrics::counter_add("demand.cells", ds.cells.len() as u64);
+        leo_obs::metrics::counter_add("demand.locations", ds.total_locations);
+        ds
     }
 
     /// Per-cell location counts, ascending (the Fig 1 distribution).
@@ -323,8 +342,8 @@ impl BroadbandDataset {
     /// within ~95 % of the cell's in-radius so that re-binning through
     /// the grid provably recovers the per-cell counts.
     pub fn scatter_locations(&self, seed: u64) -> Vec<Location> {
-        let inradius =
-            self.grid.center_spacing_km(STARLINK_RESOLUTION) / 2.0 * 0.95;
+        let _span = leo_obs::span!("demand.scatter");
+        let inradius = self.grid.center_spacing_km(STARLINK_RESOLUTION) / 2.0 * 0.95;
         let per_cell = par_map(&self.cells, |_, c| {
             let mut rng = StdRng::seed_from_u64(mix64(seed, c.cell.as_u64()));
             (0..c.locations)
@@ -372,7 +391,11 @@ mod tests {
         let ds = small();
         let peak = ds.peak_cell();
         assert_eq!(peak.locations, 5998);
-        assert!((peak.center.lat_deg() - 37.0).abs() < 0.2, "{}", peak.center);
+        assert!(
+            (peak.center.lat_deg() - 37.0).abs() < 0.2,
+            "{}",
+            peak.center
+        );
     }
 
     #[test]

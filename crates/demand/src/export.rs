@@ -182,7 +182,10 @@ pub fn import(cells_csv: &str, counties_csv: &str) -> Result<BroadbandDataset, I
     }
     cells.sort_by_key(|c| c.cell);
     let us_cell_count = grid
-        .polyfill(&crate::geography::conus_polygon(), leo_hexgrid::STARLINK_RESOLUTION)
+        .polyfill(
+            &crate::geography::conus_polygon(),
+            leo_hexgrid::STARLINK_RESOLUTION,
+        )
         .len();
     Ok(BroadbandDataset::from_parts(
         grid,
@@ -227,7 +230,13 @@ mod tests {
     #[test]
     fn rejects_malformed_header() {
         let err = import("nope\n", "county_id,a,b,c,d,e\n").unwrap_err();
-        assert!(matches!(err, ImportError::Malformed { table: "cells", line: 1 }));
+        assert!(matches!(
+            err,
+            ImportError::Malformed {
+                table: "cells",
+                line: 1
+            }
+        ));
     }
 
     #[test]
@@ -235,7 +244,14 @@ mod tests {
         let cells = "cell_id,lat,lng,locations,county\nxyz,1,2,3,0\n";
         let counties = "county_id,lat,lng,median_income,locations,remoteness_km\n0,1,2,3,4,5\n";
         let err = import(cells, counties).unwrap_err();
-        assert!(matches!(err, ImportError::BadNumber { table: "cells", line: 2, .. }));
+        assert!(matches!(
+            err,
+            ImportError::BadNumber {
+                table: "cells",
+                line: 2,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -243,7 +259,8 @@ mod tests {
         let ds = small();
         let cells = cells_to_csv(&ds);
         // Only one county row: every cell referencing county ≥ 1 dangles.
-        let counties = "county_id,lat,lng,median_income,locations,remoteness_km\n0,39,-98,60000,10,100\n";
+        let counties =
+            "county_id,lat,lng,median_income,locations,remoteness_km\n0,39,-98,60000,10,100\n";
         let err = import(&cells, counties).unwrap_err();
         assert!(matches!(err, ImportError::DanglingCounty { .. }));
     }

@@ -31,7 +31,10 @@ impl SmoothField {
     /// `bbox`, radii in `scale_km` and amplitudes in `[0, 1]`,
     /// deterministically from `seed`.
     pub fn new(seed: u64, bbox: &GeoBBox, n_bumps: usize, scale_km: (f64, f64)) -> Self {
-        assert!(scale_km.0 > 0.0 && scale_km.1 >= scale_km.0, "bad scale range");
+        assert!(
+            scale_km.0 > 0.0 && scale_km.1 >= scale_km.0,
+            "bad scale range"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let bumps = (0..n_bumps)
             .map(|_| Bump {
@@ -100,7 +103,10 @@ mod tests {
                 n += 1;
             }
         }
-        assert!(near / n as f64 * 20.0 < far / n as f64, "near {near} far {far}");
+        assert!(
+            near / n as f64 * 20.0 < far / n as f64,
+            "near {near} far {far}"
+        );
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub const CONUS_OUTLINE: &[(f64, f64)] = &[
     (45.00, -82.50),
     (46.50, -84.50), // Sault Ste. Marie
     (48.20, -89.50),
-    (49.00, -95.00), // Lake of the Woods
+    (49.00, -95.00),  // Lake of the Woods
     (49.00, -123.00), // 49th parallel to the Pacific
 ];
 
@@ -110,9 +110,7 @@ pub const METRO_CENTERS: &[(f64, f64)] = &[
 pub fn distance_to_nearest_metro_km(p: &LatLng) -> f64 {
     METRO_CENTERS
         .iter()
-        .map(|&(lat, lng)| {
-            leo_geomath::great_circle_distance_km(p, &LatLng::new(lat, lng))
-        })
+        .map(|&(lat, lng)| leo_geomath::great_circle_distance_km(p, &LatLng::new(lat, lng)))
         .fold(f64::INFINITY, f64::min)
 }
 
@@ -135,12 +133,12 @@ mod tests {
     fn interior_points_are_inside() {
         let poly = conus_polygon();
         for &(lat, lng) in &[
-            (39.5, -98.35),  // Kansas
-            (44.0, -120.5),  // Oregon
-            (32.7, -83.0),   // Georgia
-            (35.0, -106.0),  // New Mexico
-            (41.0, -75.0),   // Pennsylvania
-            (37.0, -89.5),   // the peak-demand anchor (SE Missouri)
+            (39.5, -98.35), // Kansas
+            (44.0, -120.5), // Oregon
+            (32.7, -83.0),  // Georgia
+            (35.0, -106.0), // New Mexico
+            (41.0, -75.0),  // Pennsylvania
+            (37.0, -89.5),  // the peak-demand anchor (SE Missouri)
         ] {
             assert!(poly.contains(&LatLng::new(lat, lng)), "({lat},{lng})");
         }
@@ -150,12 +148,12 @@ mod tests {
     fn exterior_points_are_outside() {
         let poly = conus_polygon();
         for &(lat, lng) in &[
-            (23.0, -98.0),   // Gulf of Mexico
-            (51.0, -100.0),  // Canada
-            (36.0, -60.0),   // Atlantic
-            (30.0, -125.0),  // Pacific
-            (19.7, -155.5),  // Hawaii
-            (64.8, -147.7),  // Alaska
+            (23.0, -98.0),  // Gulf of Mexico
+            (51.0, -100.0), // Canada
+            (36.0, -60.0),  // Atlantic
+            (30.0, -125.0), // Pacific
+            (19.7, -155.5), // Hawaii
+            (64.8, -147.7), // Alaska
         ] {
             assert!(!poly.contains(&LatLng::new(lat, lng)), "({lat},{lng})");
         }

@@ -11,7 +11,11 @@
 use crate::counties::County;
 use crate::dataset::{BroadbandDataset, CellDemand};
 
-fn rebuild(base: &BroadbandDataset, cells: Vec<CellDemand>, counties: Vec<County>) -> BroadbandDataset {
+fn rebuild(
+    base: &BroadbandDataset,
+    cells: Vec<CellDemand>,
+    counties: Vec<County>,
+) -> BroadbandDataset {
     BroadbandDataset::from_parts(base.grid.clone(), cells, base.us_cell_count, counties)
 }
 

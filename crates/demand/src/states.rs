@@ -22,55 +22,251 @@ pub struct State {
 
 /// The contiguous states and DC, with approximate centroids.
 pub const STATES: &[State] = &[
-    State { code: "AL", name: "Alabama", centroid: (32.79, -86.83) },
-    State { code: "AZ", name: "Arizona", centroid: (34.29, -111.66) },
-    State { code: "AR", name: "Arkansas", centroid: (34.90, -92.44) },
-    State { code: "CA", name: "California", centroid: (37.18, -119.47) },
-    State { code: "CO", name: "Colorado", centroid: (39.00, -105.55) },
-    State { code: "CT", name: "Connecticut", centroid: (41.62, -72.73) },
-    State { code: "DE", name: "Delaware", centroid: (38.99, -75.51) },
-    State { code: "DC", name: "District of Columbia", centroid: (38.91, -77.01) },
-    State { code: "FL", name: "Florida", centroid: (28.63, -82.45) },
-    State { code: "GA", name: "Georgia", centroid: (32.64, -83.44) },
-    State { code: "ID", name: "Idaho", centroid: (44.35, -114.61) },
-    State { code: "IL", name: "Illinois", centroid: (40.04, -89.20) },
-    State { code: "IN", name: "Indiana", centroid: (39.89, -86.28) },
-    State { code: "IA", name: "Iowa", centroid: (42.08, -93.50) },
-    State { code: "KS", name: "Kansas", centroid: (38.49, -98.38) },
-    State { code: "KY", name: "Kentucky", centroid: (37.53, -85.30) },
-    State { code: "LA", name: "Louisiana", centroid: (31.07, -92.00) },
-    State { code: "ME", name: "Maine", centroid: (45.37, -69.24) },
-    State { code: "MD", name: "Maryland", centroid: (39.06, -76.80) },
-    State { code: "MA", name: "Massachusetts", centroid: (42.26, -71.81) },
-    State { code: "MI", name: "Michigan", centroid: (44.35, -85.41) },
-    State { code: "MN", name: "Minnesota", centroid: (46.28, -94.31) },
-    State { code: "MS", name: "Mississippi", centroid: (32.74, -89.67) },
-    State { code: "MO", name: "Missouri", centroid: (38.35, -92.46) },
-    State { code: "MT", name: "Montana", centroid: (47.03, -109.64) },
-    State { code: "NE", name: "Nebraska", centroid: (41.54, -99.80) },
-    State { code: "NV", name: "Nevada", centroid: (39.33, -116.63) },
-    State { code: "NH", name: "New Hampshire", centroid: (43.68, -71.58) },
-    State { code: "NJ", name: "New Jersey", centroid: (40.19, -74.67) },
-    State { code: "NM", name: "New Mexico", centroid: (34.41, -106.11) },
-    State { code: "NY", name: "New York", centroid: (42.95, -75.53) },
-    State { code: "NC", name: "North Carolina", centroid: (35.56, -79.39) },
-    State { code: "ND", name: "North Dakota", centroid: (47.45, -100.47) },
-    State { code: "OH", name: "Ohio", centroid: (40.29, -82.79) },
-    State { code: "OK", name: "Oklahoma", centroid: (35.58, -97.51) },
-    State { code: "OR", name: "Oregon", centroid: (43.93, -120.56) },
-    State { code: "PA", name: "Pennsylvania", centroid: (40.88, -77.80) },
-    State { code: "RI", name: "Rhode Island", centroid: (41.68, -71.56) },
-    State { code: "SC", name: "South Carolina", centroid: (33.92, -80.90) },
-    State { code: "SD", name: "South Dakota", centroid: (44.44, -100.23) },
-    State { code: "TN", name: "Tennessee", centroid: (35.86, -86.35) },
-    State { code: "TX", name: "Texas", centroid: (31.48, -99.33) },
-    State { code: "UT", name: "Utah", centroid: (39.31, -111.67) },
-    State { code: "VT", name: "Vermont", centroid: (44.07, -72.67) },
-    State { code: "VA", name: "Virginia", centroid: (37.52, -78.85) },
-    State { code: "WA", name: "Washington", centroid: (47.38, -120.45) },
-    State { code: "WV", name: "West Virginia", centroid: (38.64, -80.62) },
-    State { code: "WI", name: "Wisconsin", centroid: (44.62, -89.99) },
-    State { code: "WY", name: "Wyoming", centroid: (42.99, -107.55) },
+    State {
+        code: "AL",
+        name: "Alabama",
+        centroid: (32.79, -86.83),
+    },
+    State {
+        code: "AZ",
+        name: "Arizona",
+        centroid: (34.29, -111.66),
+    },
+    State {
+        code: "AR",
+        name: "Arkansas",
+        centroid: (34.90, -92.44),
+    },
+    State {
+        code: "CA",
+        name: "California",
+        centroid: (37.18, -119.47),
+    },
+    State {
+        code: "CO",
+        name: "Colorado",
+        centroid: (39.00, -105.55),
+    },
+    State {
+        code: "CT",
+        name: "Connecticut",
+        centroid: (41.62, -72.73),
+    },
+    State {
+        code: "DE",
+        name: "Delaware",
+        centroid: (38.99, -75.51),
+    },
+    State {
+        code: "DC",
+        name: "District of Columbia",
+        centroid: (38.91, -77.01),
+    },
+    State {
+        code: "FL",
+        name: "Florida",
+        centroid: (28.63, -82.45),
+    },
+    State {
+        code: "GA",
+        name: "Georgia",
+        centroid: (32.64, -83.44),
+    },
+    State {
+        code: "ID",
+        name: "Idaho",
+        centroid: (44.35, -114.61),
+    },
+    State {
+        code: "IL",
+        name: "Illinois",
+        centroid: (40.04, -89.20),
+    },
+    State {
+        code: "IN",
+        name: "Indiana",
+        centroid: (39.89, -86.28),
+    },
+    State {
+        code: "IA",
+        name: "Iowa",
+        centroid: (42.08, -93.50),
+    },
+    State {
+        code: "KS",
+        name: "Kansas",
+        centroid: (38.49, -98.38),
+    },
+    State {
+        code: "KY",
+        name: "Kentucky",
+        centroid: (37.53, -85.30),
+    },
+    State {
+        code: "LA",
+        name: "Louisiana",
+        centroid: (31.07, -92.00),
+    },
+    State {
+        code: "ME",
+        name: "Maine",
+        centroid: (45.37, -69.24),
+    },
+    State {
+        code: "MD",
+        name: "Maryland",
+        centroid: (39.06, -76.80),
+    },
+    State {
+        code: "MA",
+        name: "Massachusetts",
+        centroid: (42.26, -71.81),
+    },
+    State {
+        code: "MI",
+        name: "Michigan",
+        centroid: (44.35, -85.41),
+    },
+    State {
+        code: "MN",
+        name: "Minnesota",
+        centroid: (46.28, -94.31),
+    },
+    State {
+        code: "MS",
+        name: "Mississippi",
+        centroid: (32.74, -89.67),
+    },
+    State {
+        code: "MO",
+        name: "Missouri",
+        centroid: (38.35, -92.46),
+    },
+    State {
+        code: "MT",
+        name: "Montana",
+        centroid: (47.03, -109.64),
+    },
+    State {
+        code: "NE",
+        name: "Nebraska",
+        centroid: (41.54, -99.80),
+    },
+    State {
+        code: "NV",
+        name: "Nevada",
+        centroid: (39.33, -116.63),
+    },
+    State {
+        code: "NH",
+        name: "New Hampshire",
+        centroid: (43.68, -71.58),
+    },
+    State {
+        code: "NJ",
+        name: "New Jersey",
+        centroid: (40.19, -74.67),
+    },
+    State {
+        code: "NM",
+        name: "New Mexico",
+        centroid: (34.41, -106.11),
+    },
+    State {
+        code: "NY",
+        name: "New York",
+        centroid: (42.95, -75.53),
+    },
+    State {
+        code: "NC",
+        name: "North Carolina",
+        centroid: (35.56, -79.39),
+    },
+    State {
+        code: "ND",
+        name: "North Dakota",
+        centroid: (47.45, -100.47),
+    },
+    State {
+        code: "OH",
+        name: "Ohio",
+        centroid: (40.29, -82.79),
+    },
+    State {
+        code: "OK",
+        name: "Oklahoma",
+        centroid: (35.58, -97.51),
+    },
+    State {
+        code: "OR",
+        name: "Oregon",
+        centroid: (43.93, -120.56),
+    },
+    State {
+        code: "PA",
+        name: "Pennsylvania",
+        centroid: (40.88, -77.80),
+    },
+    State {
+        code: "RI",
+        name: "Rhode Island",
+        centroid: (41.68, -71.56),
+    },
+    State {
+        code: "SC",
+        name: "South Carolina",
+        centroid: (33.92, -80.90),
+    },
+    State {
+        code: "SD",
+        name: "South Dakota",
+        centroid: (44.44, -100.23),
+    },
+    State {
+        code: "TN",
+        name: "Tennessee",
+        centroid: (35.86, -86.35),
+    },
+    State {
+        code: "TX",
+        name: "Texas",
+        centroid: (31.48, -99.33),
+    },
+    State {
+        code: "UT",
+        name: "Utah",
+        centroid: (39.31, -111.67),
+    },
+    State {
+        code: "VT",
+        name: "Vermont",
+        centroid: (44.07, -72.67),
+    },
+    State {
+        code: "VA",
+        name: "Virginia",
+        centroid: (37.52, -78.85),
+    },
+    State {
+        code: "WA",
+        name: "Washington",
+        centroid: (47.38, -120.45),
+    },
+    State {
+        code: "WV",
+        name: "West Virginia",
+        centroid: (38.64, -80.62),
+    },
+    State {
+        code: "WI",
+        name: "Wisconsin",
+        centroid: (44.62, -89.99),
+    },
+    State {
+        code: "WY",
+        name: "Wyoming",
+        centroid: (42.99, -107.55),
+    },
 ];
 
 /// Index into [`STATES`] of the state nearest to `p`.
@@ -128,7 +324,7 @@ pub fn by_state(ds: &BroadbandDataset) -> Vec<StateDemand> {
             mean_income_usd: income_weight[s] / locations[s] as f64,
         })
         .collect();
-    out.sort_by(|a, b| b.locations.cmp(&a.locations));
+    out.sort_by_key(|d| std::cmp::Reverse(d.locations));
     out
 }
 
@@ -140,7 +336,7 @@ mod tests {
     #[test]
     fn state_table_is_complete() {
         assert_eq!(STATES.len(), 49); // 48 contiguous + DC
-        // Codes are unique.
+                                      // Codes are unique.
         let mut codes: Vec<&str> = STATES.iter().map(|s| s.code).collect();
         codes.sort_unstable();
         codes.dedup();

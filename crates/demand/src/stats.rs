@@ -23,7 +23,10 @@ impl QuantileCurve {
     pub fn new(anchors: Vec<(f64, f64)>) -> Self {
         assert!(anchors.len() >= 2, "need at least two anchors");
         assert!(anchors[0].0 == 0.0, "first anchor must be at u=0");
-        assert!(anchors[anchors.len() - 1].0 == 1.0, "last anchor must be at u=1");
+        assert!(
+            anchors[anchors.len() - 1].0 == 1.0,
+            "last anchor must be at u=1"
+        );
         for w in anchors.windows(2) {
             assert!(w[0].0 < w[1].0, "anchor u must strictly increase");
             assert!(w[0].1 > 0.0, "values must be positive");

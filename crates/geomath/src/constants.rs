@@ -8,7 +8,7 @@
 //! ellipsoid).
 
 /// Authalic (equal-area) Earth radius in kilometers.
-pub const EARTH_RADIUS_KM: f64 = 6371.007_180_918_475;
+pub const EARTH_RADIUS_KM: f64 = 6_371.007_180_918_475;
 
 /// Surface area of the spherical Earth, in square kilometers
 /// (`4 * PI * R^2` ≈ 5.10066e8 km²).
@@ -28,13 +28,13 @@ pub const WGS84_B_KM: f64 = WGS84_A_KM * (1.0 - WGS84_F);
 pub const WGS84_E2: f64 = WGS84_F * (2.0 - WGS84_F);
 
 /// Standard gravitational parameter of Earth, km³/s² (WGS84 value).
-pub const EARTH_MU_KM3_S2: f64 = 398_600.4418;
+pub const EARTH_MU_KM3_S2: f64 = 398_600.441_8;
 
 /// Earth's sidereal rotation rate, radians per second.
 pub const EARTH_ROTATION_RATE_RAD_S: f64 = 7.292_115_146_706_979e-5;
 
 /// Seconds in one sidereal day (2π / rotation rate).
-pub const SIDEREAL_DAY_S: f64 = 86_164.0905;
+pub const SIDEREAL_DAY_S: f64 = 86_164.090_5;
 
 #[cfg(test)]
 mod tests {
@@ -48,7 +48,7 @@ mod tests {
 
     #[test]
     fn wgs84_polar_radius() {
-        assert!((WGS84_B_KM - 6356.752_314).abs() < 1e-3);
+        assert!((WGS84_B_KM - 6_356.752_314).abs() < 1e-3);
     }
 
     #[test]
@@ -57,6 +57,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn authalic_radius_between_polar_and_equatorial() {
         assert!(EARTH_RADIUS_KM > WGS84_B_KM);
         assert!(EARTH_RADIUS_KM < WGS84_A_KM);

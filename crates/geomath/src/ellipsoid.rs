@@ -46,8 +46,7 @@ pub fn vincenty_distance_km(p1: &LatLng, p2: &LatLng) -> Option<f64> {
                 * f
                 * sin_alpha
                 * (sigma
-                    + c * sin_sigma
-                        * (cos2sm + c * cos_sigma * (-1.0 + 2.0 * cos2sm * cos2sm)));
+                    + c * sin_sigma * (cos2sm + c * cos_sigma * (-1.0 + 2.0 * cos2sm * cos2sm)));
         let delta = (lambda_new - lambda).abs();
         lambda = lambda_new;
         iterations += 1;
@@ -103,8 +102,7 @@ mod tests {
         // The ellipsoid's flattening: a degree of latitude is longer
         // near the poles (~111.69 km) than at the equator (~110.57 km).
         let eq = vincenty_distance_km(&LatLng::new(0.0, 0.0), &LatLng::new(1.0, 0.0)).unwrap();
-        let polar =
-            vincenty_distance_km(&LatLng::new(88.0, 0.0), &LatLng::new(89.0, 0.0)).unwrap();
+        let polar = vincenty_distance_km(&LatLng::new(88.0, 0.0), &LatLng::new(89.0, 0.0)).unwrap();
         assert!((eq - 110.57).abs() < 0.02, "equator {eq}");
         assert!((polar - 111.69).abs() < 0.02, "polar {polar}");
         assert!(polar > eq);
@@ -127,7 +125,10 @@ mod tests {
             let q = LatLng::new(a2, o2);
             let v = vincenty_distance_km(&p, &q).unwrap();
             let s = great_circle_distance_km(&p, &q);
-            assert!((v - s).abs() / v < 0.006, "({a1},{o1})→({a2},{o2}): {v} vs {s}");
+            assert!(
+                (v - s).abs() / v < 0.006,
+                "({a1},{o1})→({a2},{o2}): {v} vs {s}"
+            );
         }
     }
 

@@ -166,8 +166,9 @@ mod tests {
 
     #[test]
     fn winding_direction_does_not_matter() {
-        let cw = GeoPolygon::from_degrees(&[(39.0, -99.0), (40.0, -99.0), (40.0, -98.0), (39.0, -98.0)])
-            .unwrap();
+        let cw =
+            GeoPolygon::from_degrees(&[(39.0, -99.0), (40.0, -99.0), (40.0, -98.0), (39.0, -98.0)])
+                .unwrap();
         let ccw = unit_quad();
         assert!((cw.area_km2() - ccw.area_km2()).abs() < 1e-6);
         assert!(cw.contains(&LatLng::new(39.5, -98.5)));

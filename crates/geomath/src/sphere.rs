@@ -28,8 +28,8 @@ pub fn great_circle_distance_km(a: &LatLng, b: &LatLng) -> f64 {
 pub fn initial_bearing_deg(a: &LatLng, b: &LatLng) -> f64 {
     let dlng = b.lng_rad() - a.lng_rad();
     let y = dlng.sin() * b.lat_rad().cos();
-    let x = a.lat_rad().cos() * b.lat_rad().sin()
-        - a.lat_rad().sin() * b.lat_rad().cos() * dlng.cos();
+    let x =
+        a.lat_rad().cos() * b.lat_rad().sin() - a.lat_rad().sin() * b.lat_rad().cos() * dlng.cos();
     let deg = y.atan2(x).to_degrees();
     (deg + 360.0) % 360.0
 }
@@ -42,9 +42,10 @@ pub fn destination(start: &LatLng, bearing_deg: f64, distance_km: f64) -> LatLng
     let theta = bearing_deg.to_radians();
     let (slat, clat) = start.lat_rad().sin_cos();
     let (sd, cd) = delta.sin_cos();
-    let lat2 = (slat * cd + clat * sd * theta.cos()).clamp(-1.0, 1.0).asin();
-    let lng2 = start.lng_rad()
-        + (theta.sin() * sd * clat).atan2(cd - slat * lat2.sin());
+    let lat2 = (slat * cd + clat * sd * theta.cos())
+        .clamp(-1.0, 1.0)
+        .asin();
+    let lng2 = start.lng_rad() + (theta.sin() * sd * clat).atan2(cd - slat * lat2.sin());
     LatLng::from_radians(lat2, lng2)
 }
 
@@ -114,7 +115,10 @@ mod tests {
             for dist in [1.0, 50.0, 500.0, 3000.0] {
                 let end = destination(&start, bearing, dist);
                 let back = great_circle_distance_km(&start, &end);
-                assert!((back - dist).abs() < 1e-6 * dist.max(1.0), "b={bearing} d={dist} got {back}");
+                assert!(
+                    (back - dist).abs() < 1e-6 * dist.max(1.0),
+                    "b={bearing} d={dist} got {back}"
+                );
             }
         }
     }

@@ -97,12 +97,7 @@ impl Axial {
     /// also exploits it for fast lattice scaling in tests.
     pub fn eisenstein_mul(&self, o: &Axial) -> Axial {
         // (a + bω)(c + dω) = (ac − bd) + (ad + bc + bd)ω
-        let (a, b, c, d) = (
-            self.q as i64,
-            self.r as i64,
-            o.q as i64,
-            o.r as i64,
-        );
+        let (a, b, c, d) = (self.q as i64, self.r as i64, o.q as i64, o.r as i64);
         Axial::new((a * c - b * d) as i32, (a * d + b * c + b * d) as i32)
     }
 

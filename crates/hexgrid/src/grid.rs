@@ -35,7 +35,7 @@ struct ResTransform {
 }
 
 impl ResTransform {
-    fn to_plane(&self, coord: &Axial) -> PlanePoint {
+    fn project(&self, coord: &Axial) -> PlanePoint {
         let p = self.layout.center(coord);
         PlanePoint::new(
             p.x * self.cos_t - p.y * self.sin_t,
@@ -43,7 +43,7 @@ impl ResTransform {
         )
     }
 
-    fn from_plane(&self, p: &PlanePoint) -> Axial {
+    fn unproject(&self, p: &PlanePoint) -> Axial {
         // Inverse rotation, then fractional hex rounding.
         let q = PlanePoint::new(
             p.x * self.cos_t + p.y * self.sin_t,
@@ -121,13 +121,13 @@ impl GeoHexGrid {
     /// The cell containing a point at resolution `res`.
     pub fn cell_for(&self, p: &LatLng, res: u8) -> CellId {
         let plane = self.proj.forward(p);
-        CellId::pack(res, self.res[res as usize].from_plane(&plane))
+        CellId::pack(res, self.res[res as usize].unproject(&plane))
     }
 
     /// The center point of a cell.
     pub fn cell_center(&self, id: CellId) -> LatLng {
         let t = &self.res[id.resolution() as usize];
-        self.proj.inverse(&t.to_plane(&id.coord()))
+        self.proj.inverse(&t.project(&id.coord()))
     }
 
     /// The six boundary vertices of a cell, counterclockwise.
@@ -196,7 +196,7 @@ impl GeoHexGrid {
         let mut qmin = i32::MAX;
         let mut qmax = i32::MIN;
         for c in &corners {
-            let a = t.from_plane(c);
+            let a = t.unproject(c);
             qmin = qmin.min(a.q);
             qmax = qmax.max(a.q);
         }
@@ -210,7 +210,7 @@ impl GeoHexGrid {
             let mut rmin = i32::MAX;
             let mut rmax = i32::MIN;
             for c in &corners {
-                let a = t.from_plane(c);
+                let a = t.unproject(c);
                 rmin = rmin.min(a.r);
                 rmax = rmax.max(a.r);
             }
@@ -218,7 +218,7 @@ impl GeoHexGrid {
             rmax += 1;
             for r in rmin..=rmax {
                 let coord = Axial::new(q, r);
-                let plane = t.to_plane(&coord);
+                let plane = t.project(&coord);
                 if plane.x < xmin || plane.x > xmax || plane.y < ymin || plane.y > ymax {
                     continue;
                 }

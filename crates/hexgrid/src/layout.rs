@@ -71,7 +71,10 @@ impl Layout {
         let mut out = [PlanePoint::default(); 6];
         for (i, slot) in out.iter_mut().enumerate() {
             let ang = std::f64::consts::PI / 180.0 * (60.0 * i as f64 + 30.0);
-            *slot = PlanePoint::new(c.x + self.size_km * ang.cos(), c.y + self.size_km * ang.sin());
+            *slot = PlanePoint::new(
+                c.x + self.size_km * ang.cos(),
+                c.y + self.size_km * ang.sin(),
+            );
         }
         out
     }

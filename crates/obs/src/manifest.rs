@@ -1,0 +1,280 @@
+//! Run manifests and bench records.
+//!
+//! Every `divide` invocation writes `<out>/run_manifest.json` — the
+//! full reproducibility record of the run: command line, seed, scale,
+//! thread count, workspace version, per-stage wall-clock, the complete
+//! span tree, and a dump of every metric. `--metrics-out FILE`
+//! additionally emits a *flat* bench record (one JSON object, stable
+//! keys) that the `BENCH_<command>.json` perf trajectory accumulates.
+//!
+//! Schemas are versioned by the `schema` field:
+//! `leo-obs/run-manifest/v1` and `leo-obs/bench/v1`; DESIGN.md §8
+//! documents both layouts.
+
+use crate::json::Json;
+use crate::metrics::{self, MetricsSnapshot};
+use crate::span::{self, SpanStats};
+use std::collections::BTreeMap;
+
+/// The workspace crates a manifest lists (all share the workspace
+/// version).
+const WORKSPACE_CRATES: &[&str] = &[
+    "leo-geomath",
+    "leo-hexgrid",
+    "leo-orbit",
+    "leo-demand",
+    "leo-capacity",
+    "starlink-divide",
+    "leo-simnet",
+    "leo-report",
+    "leo-parallel",
+    "leo-obs",
+];
+
+/// Identity of one pipeline invocation.
+#[derive(Debug, Clone)]
+pub struct RunInfo {
+    /// The CLI command (`fig2`, `all`, ...).
+    pub command: String,
+    /// Dataset scale (`small` | `paper`).
+    pub scale: String,
+    /// The seed every random stream derives from.
+    pub seed: u64,
+    /// Effective worker-thread count.
+    pub threads: usize,
+    /// The raw argument vector, for exact replay.
+    pub argv: Vec<String>,
+}
+
+/// Spans whose top-level path starts with `stage.`, in execution
+/// order — the per-stage wall-clock table of the manifest.
+fn stage_spans(spans: &BTreeMap<String, SpanStats>) -> Vec<(String, SpanStats)> {
+    let mut stages: Vec<(String, SpanStats)> = spans
+        .iter()
+        .filter(|(path, _)| !path.contains('/') && path.starts_with("stage."))
+        .map(|(path, &s)| (path["stage.".len()..].to_string(), s))
+        .collect();
+    stages.sort_by_key(|&(_, s)| s.seq);
+    stages
+}
+
+fn ns_to_ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+fn span_stats_json(stats: &SpanStats) -> Json {
+    Json::obj()
+        .set("calls", stats.count)
+        .set("total_ns", stats.total_ns)
+        .set("min_ns", if stats.count > 0 { stats.min_ns } else { 0 })
+        .set("max_ns", stats.max_ns)
+}
+
+/// Renders the span registry as a forest: children are the paths one
+/// `/` segment deeper. Returns an array of span nodes.
+fn span_tree(spans: &BTreeMap<String, SpanStats>, prefix: &str) -> Json {
+    let mut nodes: Vec<(u64, Json)> = Vec::new();
+    for (path, stats) in spans {
+        let rest = match path.strip_prefix(prefix) {
+            Some(rest) if !rest.is_empty() => rest,
+            _ => continue,
+        };
+        if rest.contains('/') {
+            continue; // deeper descendant; its parent will recurse
+        }
+        let child_prefix = format!("{path}/");
+        let children = span_tree(spans, &child_prefix);
+        let mut node = Json::obj().set("name", rest);
+        if let Json::Obj(stat_fields) = span_stats_json(stats) {
+            if let Json::Obj(fields) = &mut node {
+                fields.extend(stat_fields);
+            }
+        }
+        let node = node.set("children", children);
+        nodes.push((stats.seq, node));
+    }
+    nodes.sort_by_key(|&(seq, _)| seq);
+    Json::Arr(nodes.into_iter().map(|(_, n)| n).collect())
+}
+
+fn metrics_json(snap: &MetricsSnapshot) -> Json {
+    let mut counters = Json::obj();
+    for (name, value) in &snap.counters {
+        counters = counters.set(name, *value);
+    }
+    let mut gauges = Json::obj();
+    for (name, value) in &snap.gauges {
+        gauges = gauges.set(name, *value);
+    }
+    let mut histograms = Json::obj();
+    for (name, h) in &snap.histograms {
+        histograms = histograms.set(
+            name,
+            Json::obj()
+                .set(
+                    "bounds",
+                    Json::Arr(h.bounds.iter().map(|&b| Json::Num(b)).collect()),
+                )
+                .set("counts", h.counts.clone())
+                .set("count", h.count)
+                .set("sum", h.sum),
+        );
+    }
+    Json::obj()
+        .set("counters", counters)
+        .set("gauges", gauges)
+        .set("histograms", histograms)
+}
+
+/// Builds the full run manifest from the current span and metric
+/// registries. `wall_ms` is the whole invocation's wall-clock.
+pub fn run_manifest(info: &RunInfo, wall_ms: f64) -> Json {
+    let spans = span::snapshot();
+    let mut stages = Json::Arr(Vec::new());
+    if let Json::Arr(items) = &mut stages {
+        for (name, stats) in stage_spans(&spans) {
+            items.push(
+                Json::obj()
+                    .set("name", name)
+                    .set("wall_ms", ns_to_ms(stats.total_ns))
+                    .set("calls", stats.count),
+            );
+        }
+    }
+    Json::obj()
+        .set("schema", "leo-obs/run-manifest/v1")
+        .set("command", info.command.as_str())
+        .set("scale", info.scale.as_str())
+        .set("seed", info.seed)
+        .set("threads", info.threads)
+        .set("argv", info.argv.clone())
+        .set("wall_ms", wall_ms)
+        .set(
+            "crates",
+            Json::obj()
+                .set("workspace_version", env!("CARGO_PKG_VERSION"))
+                .set(
+                    "members",
+                    Json::Arr(WORKSPACE_CRATES.iter().map(|&c| Json::from(c)).collect()),
+                ),
+        )
+        .set("stages", stages)
+        .set("spans", span_tree(&spans, ""))
+        .set("metrics", metrics_json(&metrics::snapshot()))
+}
+
+/// Builds the flat bench record for `--metrics-out` /
+/// `BENCH_<command>.json`: one object, scalar values plus a flat
+/// `stages` map and the counter dump, so perf-trajectory tooling can
+/// diff runs without walking a tree.
+pub fn bench_record(info: &RunInfo, wall_ms: f64) -> Json {
+    let spans = span::snapshot();
+    let mut stages = Json::obj();
+    for (name, stats) in stage_spans(&spans) {
+        stages = stages.set(&name, ns_to_ms(stats.total_ns));
+    }
+    let mut counters = Json::obj();
+    for (name, value) in &metrics::snapshot().counters {
+        counters = counters.set(name, *value);
+    }
+    Json::obj()
+        .set("schema", "leo-obs/bench/v1")
+        .set("command", info.command.as_str())
+        .set("scale", info.scale.as_str())
+        .set("seed", info.seed)
+        .set("threads", info.threads)
+        .set("wall_ms", wall_ms)
+        .set("stages", stages)
+        .set("counters", counters)
+}
+
+/// Writes a JSON document to `path`, pretty-printed, creating parent
+/// directories as needed.
+pub fn write_json(path: &std::path::Path, doc: &Json) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, doc.render_pretty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info() -> RunInfo {
+        RunInfo {
+            command: "fig2".into(),
+            scale: "small".into(),
+            seed: 7,
+            threads: 4,
+            argv: vec!["divide".into(), "fig2".into()],
+        }
+    }
+
+    #[test]
+    fn manifest_has_required_keys_and_stages() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        {
+            let _stage = span::enter("stage.dataset");
+            let _inner = span::enter("demand.generate");
+        }
+        {
+            let _stage = span::enter("stage.fig2");
+        }
+        metrics::counter_add("t_manifest.counter", 3);
+        // A command name that is not also a stage name, so the textual
+        // order check below cannot match the "command" field instead.
+        let mut run = info();
+        run.command = "all".into();
+        run.argv = vec!["divide".into(), "all".into()];
+        let m = run_manifest(&run, 12.5);
+        for key in [
+            "schema", "command", "scale", "seed", "threads", "argv", "wall_ms", "crates", "stages",
+            "spans", "metrics",
+        ] {
+            assert!(m.get(key).is_some(), "missing key {key}");
+        }
+        // Stages in execution order, stripped of the prefix.
+        let rendered = m.render();
+        let dataset_at = rendered.find("\"dataset\"").expect("dataset stage");
+        let fig2_at = rendered.find("\"fig2\"").expect("fig2 stage");
+        assert!(dataset_at < fig2_at, "stage order lost");
+        // The span tree nests demand.generate under stage.dataset.
+        assert!(rendered.contains("\"demand.generate\""));
+        assert!(rendered.contains("\"t_manifest.counter\":3"));
+        crate::reset();
+    }
+
+    #[test]
+    fn bench_record_is_flat() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        {
+            let _stage = span::enter("stage.fig2");
+        }
+        let rec = bench_record(&info(), 3.25);
+        for key in [
+            "schema", "command", "scale", "seed", "threads", "wall_ms", "stages", "counters",
+        ] {
+            assert!(rec.get(key).is_some(), "missing key {key}");
+        }
+        assert!(rec.get("stages").unwrap().get("fig2").is_some());
+        crate::reset();
+    }
+
+    #[test]
+    fn write_json_creates_parents() {
+        let dir = std::env::temp_dir().join("leo_obs_manifest_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/record.json");
+        write_json(&path, &Json::obj().set("ok", true)).expect("write");
+        let body = std::fs::read_to_string(&path).expect("read back");
+        assert!(body.contains("\"ok\": true"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

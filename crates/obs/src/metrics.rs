@@ -1,0 +1,203 @@
+//! Process-wide metric registry: named counters, gauges, and
+//! fixed-bucket histograms.
+//!
+//! Names follow the `subsystem.metric` convention documented in
+//! DESIGN.md §8 (`parallel.chunks`, `demand.cells`, `fig2.grid_points`,
+//! `orbit.mc_samples`, ...). Every update takes one short global mutex
+//! hold; hot paths therefore record per *batch* (per worker chunk, per
+//! sweep), never per data item. All updates are no-ops while
+//! [`crate::enabled`] is false, and values are only ever read back by
+//! the run manifest — metrics can never perturb artifact bytes.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Default histogram buckets: log-spaced upper bounds suited to
+/// nanosecond timings (1 µs … ~17 s) and to medium item counts.
+pub const DEFAULT_BUCKETS: [f64; 11] = [
+    1e3,
+    1e4,
+    1e5,
+    1e6,
+    1e7,
+    1e8,
+    1e9,
+    4e9,
+    1.6e10,
+    6.4e10,
+    f64::INFINITY,
+];
+
+/// A fixed-bucket histogram (bucket bounds are upper-inclusive edges;
+/// the last bound should be `+inf` to catch everything).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Upper bucket bounds, ascending.
+    pub bounds: Vec<f64>,
+    /// Observation count per bucket.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len()],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len() - 1);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Mean of observed values (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        self.sum / self.count as f64
+    }
+}
+
+static COUNTERS: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
+static GAUGES: Mutex<BTreeMap<String, f64>> = Mutex::new(BTreeMap::new());
+static HISTOGRAMS: Mutex<BTreeMap<String, Histogram>> = Mutex::new(BTreeMap::new());
+
+/// Adds `delta` to the named counter (creating it at zero).
+pub fn counter_add(name: &str, delta: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut counters = COUNTERS.lock();
+    match counters.get_mut(name) {
+        Some(v) => *v += delta,
+        None => {
+            counters.insert(name.to_string(), delta);
+        }
+    }
+}
+
+/// Sets the named gauge to `value` (last write wins).
+pub fn gauge_set(name: &str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    GAUGES.lock().insert(name.to_string(), value);
+}
+
+/// Records `value` into the named histogram with [`DEFAULT_BUCKETS`].
+pub fn observe(name: &str, value: f64) {
+    observe_with(name, &DEFAULT_BUCKETS, value);
+}
+
+/// Records `value` into the named histogram, creating it with `bounds`
+/// on first use (later calls keep the first-registered bounds — bucket
+/// layouts are fixed for the life of the process).
+pub fn observe_with(name: &str, bounds: &[f64], value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut hists = HISTOGRAMS.lock();
+    match hists.get_mut(name) {
+        Some(h) => h.observe(value),
+        None => {
+            let mut h = Histogram::new(bounds);
+            h.observe(value);
+            hists.insert(name.to_string(), h);
+        }
+    }
+}
+
+/// The value of a counter (zero when never touched).
+pub fn counter_value(name: &str) -> u64 {
+    COUNTERS.lock().get(name).copied().unwrap_or(0)
+}
+
+/// A point-in-time copy of every metric.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge name → value.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram name → contents.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+/// Snapshots the whole registry.
+pub fn snapshot() -> MetricsSnapshot {
+    MetricsSnapshot {
+        counters: COUNTERS.lock().clone(),
+        gauges: GAUGES.lock().clone(),
+        histograms: HISTOGRAMS.lock().clone(),
+    }
+}
+
+/// Clears every metric.
+pub fn reset() {
+    COUNTERS.lock().clear();
+    GAUGES.lock().clear();
+    HISTOGRAMS.lock().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(true);
+        counter_add("t_m.counter", 2);
+        counter_add("t_m.counter", 3);
+        assert_eq!(counter_value("t_m.counter"), 5);
+    }
+
+    #[test]
+    fn gauges_take_last_write() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(true);
+        gauge_set("t_m.gauge", 1.0);
+        gauge_set("t_m.gauge", 7.5);
+        assert_eq!(snapshot().gauges["t_m.gauge"], 7.5);
+    }
+
+    #[test]
+    fn histograms_bucket_and_sum() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(true);
+        observe_with("t_m.hist", &[1.0, 10.0, f64::INFINITY], 0.5);
+        observe_with("t_m.hist", &[1.0, 10.0, f64::INFINITY], 5.0);
+        observe_with("t_m.hist", &[1.0, 10.0, f64::INFINITY], 500.0);
+        let h = &snapshot().histograms["t_m.hist"];
+        assert_eq!(h.counts, vec![1, 1, 1]);
+        assert_eq!(h.count, 3);
+        assert!((h.sum - 505.5).abs() < 1e-9);
+        assert!((h.mean() - 168.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabled_updates_are_dropped() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(false);
+        counter_add("t_m.off", 9);
+        gauge_set("t_m.off_gauge", 1.0);
+        observe("t_m.off_hist", 1.0);
+        crate::set_enabled(true);
+        assert_eq!(counter_value("t_m.off"), 0);
+        let snap = snapshot();
+        assert!(!snap.gauges.contains_key("t_m.off_gauge"));
+        assert!(!snap.histograms.contains_key("t_m.off_hist"));
+    }
+}

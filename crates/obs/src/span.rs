@@ -1,0 +1,194 @@
+//! Hierarchical timing spans.
+//!
+//! [`enter`] (or the [`crate::span!`] macro) opens a span and returns a
+//! RAII guard; dropping the guard records the elapsed wall-clock time
+//! into a global registry keyed by the span's *path*. Spans nest per
+//! thread — a span opened while another is live on the same thread gets
+//! the path `parent/child` — so the registry reconstructs the call tree
+//! of a run without any wiring through function signatures.
+//!
+//! Worker threads spawned by `leo-parallel` start with an empty stack:
+//! their measurements surface through the metrics registry (per-worker
+//! busy/idle time) rather than as span children, keeping span paths
+//! deterministic regardless of scheduling.
+//!
+//! Everything is a no-op while [`crate::enabled`] is false; the spans
+//! only ever feed the run manifest, never the computation (the
+//! determinism contract in the crate docs).
+
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Accumulated statistics of one span path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Number of completed calls.
+    pub count: u64,
+    /// Total nanoseconds across calls.
+    pub total_ns: u64,
+    /// Fastest call, nanoseconds.
+    pub min_ns: u64,
+    /// Slowest call, nanoseconds.
+    pub max_ns: u64,
+    /// Registry-wide completion order of the path's first call — lets
+    /// the manifest list stages in execution order, which a BTreeMap
+    /// of paths alone cannot recover.
+    pub seq: u64,
+}
+
+impl SpanStats {
+    fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+}
+
+/// Span registry: full path (`a/b/c`) → stats. BTreeMap so snapshots
+/// iterate in a stable order.
+static REGISTRY: Mutex<BTreeMap<String, SpanStats>> = Mutex::new(BTreeMap::new());
+
+thread_local! {
+    /// The live span paths of this thread, innermost last.
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The RAII guard of a live span; records on drop. Inert (and free)
+/// when observability is disabled.
+#[must_use = "a span ends when its guard drops; bind it with `let _span = ...`"]
+pub struct SpanGuard {
+    path: Option<String>,
+    start: Instant,
+}
+
+/// Opens a span named `name` nested under this thread's innermost live
+/// span, if any. Prefer the [`crate::span!`] macro.
+pub fn enter(name: &str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard {
+            path: None,
+            start: Instant::now(),
+        };
+    }
+    let path = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = match stack.last() {
+            Some(parent) => format!("{parent}/{name}"),
+            None => name.to_string(),
+        };
+        stack.push(path.clone());
+        path
+    });
+    SpanGuard {
+        path: Some(path),
+        start: Instant::now(),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(path) = self.path.take() {
+            let ns = self.start.elapsed().as_nanos() as u64;
+            STACK.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+            let mut registry = REGISTRY.lock();
+            let next_seq = registry.len() as u64;
+            registry
+                .entry(path)
+                .or_insert(SpanStats {
+                    count: 0,
+                    total_ns: 0,
+                    min_ns: u64::MAX,
+                    max_ns: 0,
+                    seq: next_seq,
+                })
+                .record(ns);
+        }
+    }
+}
+
+/// A copy of the whole registry: span path → stats.
+pub fn snapshot() -> BTreeMap<String, SpanStats> {
+    REGISTRY.lock().clone()
+}
+
+/// Clears the registry (live guards still record when they drop).
+pub fn reset() {
+    REGISTRY.lock().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Spans under a unique root so parallel tests cannot collide.
+    fn stats_under(root: &str) -> BTreeMap<String, SpanStats> {
+        snapshot()
+            .into_iter()
+            .filter(|(path, _)| path.starts_with(root))
+            .collect()
+    }
+
+    #[test]
+    fn spans_nest_into_paths() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(true);
+        {
+            let _outer = enter("t_nest.outer");
+            let _inner = enter("child");
+            let _deeper = enter("leaf");
+        }
+        let got = stats_under("t_nest.outer");
+        assert!(got.contains_key("t_nest.outer"));
+        assert!(got.contains_key("t_nest.outer/child"));
+        assert!(got.contains_key("t_nest.outer/child/leaf"));
+    }
+
+    #[test]
+    fn stats_accumulate_min_max() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(true);
+        for _ in 0..3 {
+            let _s = enter("t_acc.span");
+        }
+        let s = stats_under("t_acc.span")["t_acc.span"];
+        assert_eq!(s.count, 3);
+        assert!(s.min_ns <= s.max_ns);
+        assert!(s.total_ns >= s.max_ns);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(true);
+        let before = stats_under("t_off.span").len();
+        crate::set_enabled(false);
+        {
+            let _s = enter("t_off.span");
+        }
+        crate::set_enabled(true);
+        assert_eq!(stats_under("t_off.span").len(), before);
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parent() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(true);
+        {
+            let _p = enter("t_sib.parent");
+            {
+                let _a = enter("a");
+            }
+            {
+                let _b = enter("b");
+            }
+        }
+        let got = stats_under("t_sib.parent");
+        assert!(got.contains_key("t_sib.parent/a"));
+        assert!(got.contains_key("t_sib.parent/b"));
+    }
+}

@@ -57,7 +57,12 @@ pub fn coverage(
     cfg: &CoverageConfig,
 ) -> Vec<CoverageStats> {
     assert!(cfg.time_samples > 0, "need at least one sample");
+    let _span = leo_obs::span!("orbit.mc_coverage");
     let sats: Vec<_> = shells.iter().flat_map(|s| s.satellites()).collect();
+    leo_obs::metrics::counter_add(
+        "orbit.mc_samples",
+        cfg.time_samples as u64 * sats.len() as u64,
+    );
     // Each time sample yields an independent per-point visibility
     // count; samples fan out across workers and merge with the
     // associative, order-insensitive (min, sum, count) fold below, so

@@ -95,7 +95,9 @@ pub fn empirical_density_factor(
     time_samples: u32,
 ) -> f64 {
     assert!(band_deg > 0.0 && time_samples > 0);
+    let _span = leo_obs::span!("orbit.mc_density");
     let sats = shell.satellites();
+    leo_obs::metrics::counter_add("orbit.mc_samples", time_samples as u64 * sats.len() as u64);
     let n = sats.len() as f64;
     let period = sats[0].orbit.period_s();
     // Time samples are independent; hits are integer counts, so the
@@ -109,6 +111,7 @@ pub fn empirical_density_factor(
             })
             .count() as u64
     });
+    leo_obs::metrics::counter_add("orbit.mc_in_band", in_band);
     let frac = in_band as f64 / (n * time_samples as f64);
     // Convert band occupancy to a density factor: the band covers
     // area 2πR²·(sin(φ+Δ) − sin(φ−Δ)) ≈ fraction of Earth's surface.

@@ -35,12 +35,7 @@ pub fn range_rate_km_s(orbit: &CircularOrbit, ground: &LatLng, t_s: f64) -> f64 
 /// Doppler shift (Hz) observed on a carrier of `carrier_ghz` GHz.
 /// Positive when the satellite approaches (received frequency is
 /// higher).
-pub fn doppler_shift_hz(
-    orbit: &CircularOrbit,
-    ground: &LatLng,
-    t_s: f64,
-    carrier_ghz: f64,
-) -> f64 {
+pub fn doppler_shift_hz(orbit: &CircularOrbit, ground: &LatLng, t_s: f64, carrier_ghz: f64) -> f64 {
     -range_rate_km_s(orbit, ground, t_s) / C_KM_S * carrier_ghz * 1e9
 }
 
@@ -54,7 +49,15 @@ pub fn max_doppler_hz(
 ) -> f64 {
     let period = orbit.period_s();
     (0..samples)
-        .map(|k| doppler_shift_hz(orbit, ground, period * k as f64 / samples as f64, carrier_ghz).abs())
+        .map(|k| {
+            doppler_shift_hz(
+                orbit,
+                ground,
+                period * k as f64 / samples as f64,
+                carrier_ghz,
+            )
+            .abs()
+        })
         .fold(0.0, f64::max)
 }
 
@@ -83,10 +86,7 @@ mod tests {
         let o = orbit();
         let g = LatLng::new(10.0, 5.0); // near the ground track
         let max = max_doppler_hz(&o, &g, 12.0, 500);
-        assert!(
-            (150e3..350e3).contains(&max),
-            "max Doppler {max} Hz"
-        );
+        assert!((150e3..350e3).contains(&max), "max Doppler {max} Hz");
     }
 
     #[test]
@@ -95,9 +95,8 @@ mod tests {
         let o = orbit();
         let g = LatLng::new(0.0, 10.0);
         let ground_ecef = g.to_unit_vec() * EARTH_RADIUS_KM;
-        let range = |t: f64| {
-            (crate::frames::eci_to_ecef(o.position_eci(t), t) - ground_ecef).norm()
-        };
+        let range =
+            |t: f64| (crate::frames::eci_to_ecef(o.position_eci(t), t) - ground_ecef).norm();
         // Scan the first quarter period for the minimum.
         let mut tmin = 0.0;
         let mut best = f64::INFINITY;

@@ -27,14 +27,22 @@ pub fn eci_to_ecef(p_eci: Vec3, t_s: f64) -> Vec3 {
     let (s, c) = theta.sin_cos();
     // ECEF = Rz(−θ)·ECI (the Earth rotates +θ, so fixed coordinates
     // rotate the other way).
-    Vec3::new(c * p_eci.x + s * p_eci.y, -s * p_eci.x + c * p_eci.y, p_eci.z)
+    Vec3::new(
+        c * p_eci.x + s * p_eci.y,
+        -s * p_eci.x + c * p_eci.y,
+        p_eci.z,
+    )
 }
 
 /// Rotates an ECEF position into ECI at time `t_s`.
 pub fn ecef_to_eci(p_ecef: Vec3, t_s: f64) -> Vec3 {
     let theta = earth_rotation_angle_rad(t_s);
     let (s, c) = theta.sin_cos();
-    Vec3::new(c * p_ecef.x - s * p_ecef.y, s * p_ecef.x + c * p_ecef.y, p_ecef.z)
+    Vec3::new(
+        c * p_ecef.x - s * p_ecef.y,
+        s * p_ecef.x + c * p_ecef.y,
+        p_ecef.z,
+    )
 }
 
 /// The sub-satellite point (spherical Earth) of an ECEF position.

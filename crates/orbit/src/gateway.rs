@@ -27,16 +27,46 @@ pub struct Gateway {
 /// footprint (~40 sites).
 pub fn conus_gateways() -> Vec<Gateway> {
     const SITES: &[(f64, f64)] = &[
-        (47.3, -119.5), (45.6, -122.9), (40.6, -122.4), (37.4, -121.9),
-        (34.9, -117.0), (33.6, -112.4), (32.3, -106.8), (31.8, -99.3),
-        (35.2, -101.7), (39.1, -108.3), (41.2, -112.0), (43.6, -116.2),
-        (46.8, -110.9), (44.1, -103.2), (41.1, -100.7), (38.0, -97.3),
-        (35.5, -97.5), (32.5, -93.7), (30.4, -91.1), (34.7, -86.6),
-        (33.4, -82.1), (28.1, -81.8), (30.5, -84.3), (35.8, -78.6),
-        (37.5, -77.4), (39.0, -76.8), (41.6, -72.7), (43.1, -70.8),
-        (44.5, -69.7), (42.7, -77.6), (41.0, -81.4), (39.9, -86.3),
-        (38.3, -85.8), (36.2, -86.7), (37.2, -93.3), (40.8, -96.7),
-        (43.5, -96.7), (46.9, -96.8), (45.1, -93.5), (42.0, -93.6),
+        (47.3, -119.5),
+        (45.6, -122.9),
+        (40.6, -122.4),
+        (37.4, -121.9),
+        (34.9, -117.0),
+        (33.6, -112.4),
+        (32.3, -106.8),
+        (31.8, -99.3),
+        (35.2, -101.7),
+        (39.1, -108.3),
+        (41.2, -112.0),
+        (43.6, -116.2),
+        (46.8, -110.9),
+        (44.1, -103.2),
+        (41.1, -100.7),
+        (38.0, -97.3),
+        (35.5, -97.5),
+        (32.5, -93.7),
+        (30.4, -91.1),
+        (34.7, -86.6),
+        (33.4, -82.1),
+        (28.1, -81.8),
+        (30.5, -84.3),
+        (35.8, -78.6),
+        (37.5, -77.4),
+        (39.0, -76.8),
+        (41.6, -72.7),
+        (43.1, -70.8),
+        (44.5, -69.7),
+        (42.7, -77.6),
+        (41.0, -81.4),
+        (39.9, -86.3),
+        (38.3, -85.8),
+        (36.2, -86.7),
+        (37.2, -93.3),
+        (40.8, -96.7),
+        (43.5, -96.7),
+        (46.9, -96.8),
+        (45.1, -93.5),
+        (42.0, -93.6),
     ];
     SITES
         .iter()
@@ -48,11 +78,7 @@ pub fn conus_gateways() -> Vec<Gateway> {
 
 /// Gateways visible from a satellite with sub-satellite point `ssp` at
 /// `altitude_km`, with the slant range (km) to each.
-pub fn visible_gateways(
-    gateways: &[Gateway],
-    ssp: &LatLng,
-    altitude_km: f64,
-) -> Vec<(usize, f64)> {
+pub fn visible_gateways(gateways: &[Gateway], ssp: &LatLng, altitude_km: f64) -> Vec<(usize, f64)> {
     let lambda = visibility::coverage_cap_angle_rad(altitude_km, GATEWAY_MIN_ELEVATION_DEG);
     let r = leo_geomath::EARTH_RADIUS_KM;
     let a = r + altitude_km;

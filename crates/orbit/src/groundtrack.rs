@@ -104,7 +104,11 @@ mod tests {
         let t = o.period_s();
         let p = o.subsatellite(t);
         let expect = leo_geomath::normalize_lng_deg(0.0 - d);
-        assert!((p.lng_deg() - expect).abs() < 0.01, "{} vs {expect}", p.lng_deg());
+        assert!(
+            (p.lng_deg() - expect).abs() < 0.01,
+            "{} vs {expect}",
+            p.lng_deg()
+        );
     }
 
     #[test]
@@ -133,9 +137,6 @@ mod tests {
         let span = 4.0 * 5731.0;
         let eq = revisit_gaps(&shell, &LatLng::new(0.0, -98.0), 25.0, span, 30.0);
         let mid = revisit_gaps(&shell, &LatLng::new(45.0, -98.0), 25.0, span, 30.0);
-        assert!(
-            eq.max_gap_s > mid.max_gap_s,
-            "eq {eq:?} vs mid {mid:?}"
-        );
+        assert!(eq.max_gap_s > mid.max_gap_s, "eq {eq:?} vs mid {mid:?}");
     }
 }

@@ -114,7 +114,10 @@ pub fn user_gateway_path(
         .iter()
         .map(|s| crate::frames::eci_to_ecef(s.orbit.position_eci(t_s), t_s))
         .collect();
-    let ssps: Vec<LatLng> = ecef.iter().map(|&p| crate::frames::subsatellite_point(p)).collect();
+    let ssps: Vec<LatLng> = ecef
+        .iter()
+        .map(|&p| crate::frames::subsatellite_point(p))
+        .collect();
 
     // Serving satellite: min slant among those above the UT mask.
     let user_ecef = user.to_unit_vec() * leo_geomath::EARTH_RADIUS_KM;
@@ -152,7 +155,8 @@ pub fn user_gateway_path(
             impl Eq for Entry {}
             impl Ord for Entry {
                 fn cmp(&self, o: &Self) -> std::cmp::Ordering {
-                    o.0.partial_cmp(&self.0).unwrap_or(std::cmp::Ordering::Equal)
+                    o.0.partial_cmp(&self.0)
+                        .unwrap_or(std::cmp::Ordering::Equal)
                 }
             }
             impl PartialOrd for Entry {
@@ -274,7 +278,11 @@ mod tests {
         let floor_ms = 2.0 * 550.0 / SPEED_OF_LIGHT_KM_S * 1000.0;
         let p = user_gateway_path(&t, &gws, &LatLng::new(39.0, -98.0), 0.0, PathMode::BentPipe)
             .expect("coverage over Kansas");
-        assert!(p.latency_ms >= floor_ms * 0.99, "{} < {floor_ms}", p.latency_ms);
+        assert!(
+            p.latency_ms >= floor_ms * 0.99,
+            "{} < {floor_ms}",
+            p.latency_ms
+        );
         assert!(p.latency_ms < 15.0, "{p:?}");
     }
 

@@ -82,7 +82,11 @@ mod tests {
     fn starlink_cap_matches_hand_calculation() {
         // h=550, ε=25°: λ ≈ 8.45° (see DESIGN.md).
         let lambda = coverage_cap_angle_rad(550.0, STARLINK_MIN_ELEVATION_DEG);
-        assert!((lambda.to_degrees() - 8.45).abs() < 0.05, "{}", lambda.to_degrees());
+        assert!(
+            (lambda.to_degrees() - 8.45).abs() < 0.05,
+            "{}",
+            lambda.to_degrees()
+        );
         // Footprint ≈ 2.77e6 km², i.e. ~11k Starlink cells — beam count
         // (24) binds long before footprint does.
         let area = coverage_cap_area_km2(550.0, STARLINK_MIN_ELEVATION_DEG);

@@ -71,7 +71,12 @@ impl WalkerShell {
                 let arg_lat = 360.0 * slot as f64 / self.sats_per_plane as f64
                     + 360.0 * (self.phasing as f64) * (plane as f64) / (t as f64);
                 out.push(Satellite {
-                    orbit: CircularOrbit::new(self.altitude_km, self.inclination_deg, raan, arg_lat),
+                    orbit: CircularOrbit::new(
+                        self.altitude_km,
+                        self.inclination_deg,
+                        raan,
+                        arg_lat,
+                    ),
                     plane,
                     slot,
                 });
@@ -103,12 +108,12 @@ impl WalkerShell {
     /// do not depend on it.
     pub fn starlink_current_2025() -> Vec<Self> {
         vec![
-            WalkerShell::new(550.0, 53.0, 72, 22, 17),  // 1584
-            WalkerShell::new(540.0, 53.2, 72, 22, 17),  // 1584
-            WalkerShell::new(570.0, 70.0, 36, 20, 11),  // 720
-            WalkerShell::new(560.0, 97.6, 10, 50, 1),   // 500
-            WalkerShell::new(525.0, 53.0, 84, 28, 23),  // 2352 (Gen2 partial)
-            WalkerShell::new(530.0, 43.0, 60, 21, 13),  // 1260 (Gen2 partial)
+            WalkerShell::new(550.0, 53.0, 72, 22, 17), // 1584
+            WalkerShell::new(540.0, 53.2, 72, 22, 17), // 1584
+            WalkerShell::new(570.0, 70.0, 36, 20, 11), // 720
+            WalkerShell::new(560.0, 97.6, 10, 50, 1),  // 500
+            WalkerShell::new(525.0, 53.0, 84, 28, 23), // 2352 (Gen2 partial)
+            WalkerShell::new(530.0, 43.0, 60, 21, 13), // 1260 (Gen2 partial)
         ]
     }
 }
@@ -162,11 +167,7 @@ mod tests {
             .iter()
             .map(|x| {
                 let p = x.orbit.position_eci(0.0);
-                (
-                    (p.x * 1e3) as i64,
-                    (p.y * 1e3) as i64,
-                    (p.z * 1e3) as i64,
-                )
+                ((p.x * 1e3) as i64, (p.y * 1e3) as i64, (p.z * 1e3) as i64)
             })
             .collect();
         positions.sort_unstable();

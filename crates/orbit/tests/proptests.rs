@@ -1,9 +1,9 @@
 //! Property-based tests for orbital invariants.
 
 use leo_geomath::constants::EARTH_RADIUS_KM;
-use leo_orbit::frames::{ecef_to_eci, eci_to_ecef, ecef_to_geodetic_wgs84, geodetic_to_ecef_wgs84};
-use leo_orbit::{coverage_cap_angle_rad, density_factor, CircularOrbit, WalkerShell};
 use leo_geomath::LatLng;
+use leo_orbit::frames::{ecef_to_eci, ecef_to_geodetic_wgs84, eci_to_ecef, geodetic_to_ecef_wgs84};
+use leo_orbit::{coverage_cap_angle_rad, density_factor, CircularOrbit, WalkerShell};
 use proptest::prelude::*;
 
 proptest! {
@@ -98,10 +98,9 @@ proptest! {
 
 mod extended {
     use super::*;
+    use leo_orbit::doppler::{doppler_shift_hz, range_rate_km_s};
     use leo_orbit::isl::IslTopology;
     use leo_orbit::j2::{arg_perigee_drift_deg_per_day, raan_drift_deg_per_day};
-    use leo_orbit::doppler::{doppler_shift_hz, range_rate_km_s};
-    use proptest::prelude::*;
 
     proptest! {
         #[test]

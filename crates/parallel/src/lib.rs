@@ -27,6 +27,13 @@
 //! process-wide setting ([`set_global_threads`], wired to the CLI's
 //! `--threads N`), the `DIVIDE_THREADS` environment variable, and
 //! finally [`std::thread::available_parallelism`].
+//!
+//! Every fan-out reports to the `leo-obs` metrics registry (chunk
+//! counts, per-worker busy/idle nanoseconds, memo hit/miss) under the
+//! `parallel.*` namespace — recorded once per primitive call, never per
+//! item, and dropped entirely when observability is off. Metrics feed
+//! the run manifest only; they can never perturb results (the
+//! determinism contract holds with observability on or off).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +42,29 @@ use parking_lot::RwLock;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Records one fan-out's worker stats into the `leo-obs` metrics
+/// registry (`parallel.*` namespace, DESIGN.md §8). Called once per
+/// primitive invocation — never per item — so the instrumentation cost
+/// stays off the hot path. Callers must check [`leo_obs::enabled`]
+/// first.
+fn record_fanout(calls_counter: &str, items: usize, busy_ns: &[u64], wall_ns: u64) {
+    use leo_obs::metrics;
+    metrics::counter_add(calls_counter, 1);
+    metrics::counter_add("parallel.items", items as u64);
+    metrics::counter_add("parallel.chunks", busy_ns.len() as u64);
+    for &busy in busy_ns {
+        metrics::observe("parallel.worker_busy_ns", busy as f64);
+        metrics::counter_add("parallel.worker_busy_ns_total", busy);
+        // A worker is idle from its own finish until the slowest
+        // worker's: the fan-out only completes when every chunk joins.
+        metrics::counter_add(
+            "parallel.worker_idle_ns_total",
+            wall_ns.saturating_sub(busy),
+        );
+    }
+}
 
 /// Process-wide thread-count setting; 0 means "auto".
 static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -118,8 +148,15 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let workers = effective_threads();
+    let obs = leo_obs::enabled();
+    let t0 = Instant::now();
     if workers <= 1 || items.len() <= 1 {
-        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        let out: Vec<R> = items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        if obs {
+            let wall = t0.elapsed().as_nanos() as u64;
+            record_fanout("parallel.par_map_calls", items.len(), &[wall], wall);
+        }
+        return out;
     }
     let plan = chunks(items.len(), workers);
     let nested = crossbeam::scope(|s| {
@@ -131,24 +168,35 @@ where
                 s.spawn(move |_| {
                     // Workers inherit the caller's thread-count choice
                     // so any nested primitive resolves identically.
-                    with_threads(workers, || {
+                    let w0 = Instant::now();
+                    let out = with_threads(workers, || {
                         items
                             .iter()
                             .enumerate()
                             .map(|(k, x)| f(lo + k, x))
                             .collect::<Vec<R>>()
-                    })
+                    });
+                    (out, w0.elapsed().as_nanos() as u64)
                 })
             })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("parallel worker panicked"))
-            .collect::<Vec<Vec<R>>>()
+            .collect::<Vec<(Vec<R>, u64)>>()
     })
     .expect("parallel scope panicked");
+    if obs {
+        let busy: Vec<u64> = nested.iter().map(|&(_, ns)| ns).collect();
+        record_fanout(
+            "parallel.par_map_calls",
+            items.len(),
+            &busy,
+            t0.elapsed().as_nanos() as u64,
+        );
+    }
     let mut out = Vec::with_capacity(items.len());
-    for chunk in nested {
+    for (chunk, _) in nested {
         out.extend(chunk);
     }
     out
@@ -162,23 +210,44 @@ where
     F: Fn(usize) -> u64 + Sync,
 {
     let workers = effective_threads();
+    let obs = leo_obs::enabled();
+    let t0 = Instant::now();
     if workers <= 1 || len <= 1 {
-        return (0..len).map(f).sum();
+        let out = (0..len).map(f).sum();
+        if obs {
+            let wall = t0.elapsed().as_nanos() as u64;
+            record_fanout("parallel.par_sum_calls", len, &[wall], wall);
+        }
+        return out;
     }
-    crossbeam::scope(|s| {
+    let parts: Vec<(u64, u64)> = crossbeam::scope(|s| {
         let handles: Vec<_> = chunks(len, workers)
             .into_iter()
             .map(|(lo, hi)| {
                 let f = &f;
-                s.spawn(move |_| with_threads(workers, || (lo..hi).map(f).sum::<u64>()))
+                s.spawn(move |_| {
+                    let w0 = Instant::now();
+                    let sum = with_threads(workers, || (lo..hi).map(f).sum::<u64>());
+                    (sum, w0.elapsed().as_nanos() as u64)
+                })
             })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("parallel worker panicked"))
-            .sum()
+            .collect()
     })
-    .expect("parallel scope panicked")
+    .expect("parallel scope panicked");
+    if obs {
+        let busy: Vec<u64> = parts.iter().map(|&(_, ns)| ns).collect();
+        record_fanout(
+            "parallel.par_sum_calls",
+            len,
+            &busy,
+            t0.elapsed().as_nanos() as u64,
+        );
+    }
+    parts.into_iter().map(|(sum, _)| sum).sum()
 }
 
 /// A lazily-initialized, thread-safe memo cell.
@@ -211,7 +280,13 @@ impl<T> Memo<T> {
     /// be pure (every use in this workspace is).
     pub fn get_or_init(&self, init: impl FnOnce() -> T) -> Arc<T> {
         if let Some(v) = self.slot.read().as_ref() {
+            if leo_obs::enabled() {
+                leo_obs::metrics::counter_add("parallel.memo_hits", 1);
+            }
             return Arc::clone(v);
+        }
+        if leo_obs::enabled() {
+            leo_obs::metrics::counter_add("parallel.memo_misses", 1);
         }
         let computed = Arc::new(init());
         let mut slot = self.slot.write();
@@ -321,6 +396,38 @@ mod tests {
     fn workers_inherit_the_callers_thread_count() {
         let counts = with_threads(4, || par_map(&[0u8; 8], |_, _| effective_threads()));
         assert!(counts.iter().all(|&c| c == 4), "{counts:?}");
+    }
+
+    #[test]
+    fn fanouts_record_worker_metrics() {
+        use leo_obs::metrics;
+        leo_obs::set_enabled(true);
+        let calls0 = metrics::counter_value("parallel.par_map_calls");
+        let items0 = metrics::counter_value("parallel.items");
+        let chunks0 = metrics::counter_value("parallel.chunks");
+        let items: Vec<u64> = (0..100).collect();
+        let _ = with_threads(4, || par_map(&items, |_, &x| x + 1));
+        assert!(metrics::counter_value("parallel.par_map_calls") > calls0);
+        assert!(metrics::counter_value("parallel.items") >= items0 + 100);
+        // 100 items across 4 workers → at least 4 more chunks.
+        assert!(metrics::counter_value("parallel.chunks") >= chunks0 + 4);
+        let sums0 = metrics::counter_value("parallel.par_sum_calls");
+        let _ = with_threads(2, || par_sum_u64(10, |i| i as u64));
+        assert!(metrics::counter_value("parallel.par_sum_calls") > sums0);
+    }
+
+    #[test]
+    fn memo_records_hits_and_misses() {
+        use leo_obs::metrics;
+        leo_obs::set_enabled(true);
+        let hits0 = metrics::counter_value("parallel.memo_hits");
+        let misses0 = metrics::counter_value("parallel.memo_misses");
+        let memo: Memo<u32> = Memo::new();
+        let _ = memo.get_or_init(|| 1);
+        let _ = memo.get_or_init(|| unreachable!());
+        let _ = memo.get_or_init(|| unreachable!());
+        assert!(metrics::counter_value("parallel.memo_misses") > misses0);
+        assert!(metrics::counter_value("parallel.memo_hits") >= hits0 + 2);
     }
 
     #[test]

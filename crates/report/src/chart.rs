@@ -4,6 +4,7 @@
 //! [`Heatmap`] renders Fig 2; [`PointMap`] renders Fig 1's national
 //! map. Everything produces standalone SVG via [`crate::svg`].
 
+use crate::error::ReportError;
 use crate::svg::{ramp_color, SvgDoc, PALETTE};
 
 const MARGIN_L: f64 = 70.0;
@@ -13,7 +14,8 @@ const MARGIN_B: f64 = 52.0;
 
 /// "Nice" tick positions covering `[lo, hi]` with about `n` ticks.
 fn ticks(lo: f64, hi: f64, n: usize) -> Vec<f64> {
-    if !(hi > lo) || n == 0 {
+    // `partial_cmp` keeps the NaN-tolerant behaviour of `!(hi > lo)`.
+    if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) || n == 0 {
         return vec![lo];
     }
     let raw = (hi - lo) / n as f64;
@@ -173,7 +175,13 @@ impl LineChart {
             doc.text(MARGIN_L - 7.0, y + 4.0, &fmt_tick(t), 11.0, "end");
         }
         doc.text(width / 2.0, 18.0, &self.title, 14.0, "middle");
-        doc.text(MARGIN_L + pw / 2.0, height - 14.0, &self.x_label, 12.0, "middle");
+        doc.text(
+            MARGIN_L + pw / 2.0,
+            height - 14.0,
+            &self.x_label,
+            12.0,
+            "middle",
+        );
         doc.vtext(18.0, MARGIN_T + ph / 2.0, &self.y_label, 12.0);
 
         // Series.
@@ -193,7 +201,14 @@ impl LineChart {
             doc.polyline(&pts, color, 1.8);
             // Legend swatch.
             let ly = MARGIN_T + 14.0 + 16.0 * i as f64;
-            doc.line(MARGIN_L + pw - 120.0, ly, MARGIN_L + pw - 100.0, ly, color, 2.5);
+            doc.line(
+                MARGIN_L + pw - 120.0,
+                ly,
+                MARGIN_L + pw - 100.0,
+                ly,
+                color,
+                2.5,
+            );
             doc.text(MARGIN_L + pw - 95.0, ly + 4.0, &s.label, 11.0, "start");
         }
         doc.finish()
@@ -218,9 +233,43 @@ pub struct Heatmap {
 }
 
 impl Heatmap {
-    /// Renders to SVG text with a color ramp legend.
+    /// Renders to SVG text with a color ramp legend. Panics on
+    /// malformed data; use [`Heatmap::try_render`] to get an error
+    /// instead.
     pub fn render(&self, width: f64, height: f64) -> String {
-        assert_eq!(self.values.len(), self.ys.len(), "row count mismatch");
+        self.try_render(width, height)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Renders to SVG text, rejecting empty or mis-shaped grids with a
+    /// [`ReportError`] instead of panicking or emitting NaN geometry.
+    pub fn try_render(&self, width: f64, height: f64) -> Result<String, ReportError> {
+        if self.ys.is_empty() || self.values.is_empty() {
+            return Err(ReportError::EmptyData {
+                what: "heatmap rows",
+            });
+        }
+        if self.xs.is_empty() {
+            return Err(ReportError::EmptyData {
+                what: "heatmap columns",
+            });
+        }
+        if self.values.len() != self.ys.len() {
+            return Err(ReportError::ShapeMismatch {
+                what: "row count mismatch",
+                expected: self.ys.len(),
+                got: self.values.len(),
+            });
+        }
+        for row in &self.values {
+            if row.len() != self.xs.len() {
+                return Err(ReportError::ShapeMismatch {
+                    what: "column count mismatch",
+                    expected: self.xs.len(),
+                    got: row.len(),
+                });
+            }
+        }
         let mut doc = SvgDoc::new(width, height);
         let legend_w = 56.0;
         let pw = width - MARGIN_L - MARGIN_R - legend_w;
@@ -241,12 +290,18 @@ impl Heatmap {
         let cw = pw / self.xs.len() as f64;
         let ch = ph / self.ys.len() as f64;
         for (yi, row) in self.values.iter().enumerate() {
-            assert_eq!(row.len(), self.xs.len(), "column count mismatch");
             for (xi, &v) in row.iter().enumerate() {
                 let t = (v - vmin) / span;
                 // Row 0 at the bottom (y axis increases upward).
                 let y = MARGIN_T + ph - (yi as f64 + 1.0) * ch;
-                doc.rect(MARGIN_L + xi as f64 * cw, y, cw + 0.5, ch + 0.5, &ramp_color(t), None);
+                doc.rect(
+                    MARGIN_L + xi as f64 * cw,
+                    y,
+                    cw + 0.5,
+                    ch + 0.5,
+                    &ramp_color(t),
+                    None,
+                );
             }
         }
         // Axis labels at a readable density.
@@ -271,7 +326,13 @@ impl Heatmap {
             );
         }
         doc.text(width / 2.0, 18.0, &self.title, 14.0, "middle");
-        doc.text(MARGIN_L + pw / 2.0, height - 14.0, &self.x_label, 12.0, "middle");
+        doc.text(
+            MARGIN_L + pw / 2.0,
+            height - 14.0,
+            &self.x_label,
+            12.0,
+            "middle",
+        );
         doc.vtext(18.0, MARGIN_T + ph / 2.0, &self.y_label, 12.0);
         // Color legend.
         let lx = MARGIN_L + pw + 16.0;
@@ -279,11 +340,30 @@ impl Heatmap {
         for k in 0..bands {
             let t = k as f64 / (bands - 1) as f64;
             let y = MARGIN_T + ph * (1.0 - t);
-            doc.rect(lx, y - ph / bands as f64, 16.0, ph / bands as f64 + 0.5, &ramp_color(t), None);
+            doc.rect(
+                lx,
+                y - ph / bands as f64,
+                16.0,
+                ph / bands as f64 + 0.5,
+                &ramp_color(t),
+                None,
+            );
         }
-        doc.text(lx + 20.0, MARGIN_T + 10.0, &format!("{vmax:.2}"), 10.0, "start");
-        doc.text(lx + 20.0, MARGIN_T + ph, &format!("{vmin:.2}"), 10.0, "start");
-        doc.finish()
+        doc.text(
+            lx + 20.0,
+            MARGIN_T + 10.0,
+            &format!("{vmax:.2}"),
+            10.0,
+            "start",
+        );
+        doc.text(
+            lx + 20.0,
+            MARGIN_T + ph,
+            &format!("{vmin:.2}"),
+            10.0,
+            "start",
+        );
+        Ok(doc.finish())
     }
 }
 
@@ -342,7 +422,7 @@ mod tests {
         }
         let t2 = ticks(0.37, 0.94, 5);
         assert!(t2.len() >= 3);
-        assert!(t2.iter().all(|&v| v >= 0.37 && v <= 0.94001));
+        assert!(t2.iter().all(|&v| (0.37..=0.94001).contains(&v)));
     }
 
     #[test]
@@ -402,6 +482,38 @@ mod tests {
     }
 
     #[test]
+    fn heatmap_zero_rows_errors_gracefully() {
+        let h = Heatmap {
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            xs: vec![1, 2],
+            ys: vec![],
+            values: vec![],
+        };
+        let err = h.try_render(100.0, 100.0).unwrap_err();
+        assert_eq!(
+            err,
+            ReportError::EmptyData {
+                what: "heatmap rows"
+            }
+        );
+    }
+
+    #[test]
+    fn heatmap_try_render_matches_render() {
+        let h = Heatmap {
+            title: "H".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            xs: vec![1, 2],
+            ys: vec![1],
+            values: vec![vec![0.25, 0.75]],
+        };
+        assert_eq!(h.try_render(300.0, 200.0).unwrap(), h.render(300.0, 200.0));
+    }
+
+    #[test]
     fn point_map_scales_points() {
         let m = PointMap {
             title: "map".into(),
@@ -446,9 +558,11 @@ impl Histogram {
         bins: usize,
     ) -> Self {
         assert!(bins > 0, "need at least one bin");
-        let (lo, hi) = values.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
-            (a.min(v), b.max(v))
-        });
+        let (lo, hi) = values
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
+                (a.min(v), b.max(v))
+            });
         let (lo, hi) = if lo.is_finite() && hi > lo {
             (lo, hi)
         } else {
@@ -469,22 +583,51 @@ impl Histogram {
         }
     }
 
-    /// Renders to SVG.
+    /// Renders to SVG. Panics on malformed data (empty or mismatched
+    /// edges — [`Histogram::from_values`] never produces either); use
+    /// [`Histogram::try_render`] for directly-constructed histograms
+    /// whose shape is not known good.
     pub fn render(&self, width: f64, height: f64) -> String {
-        assert_eq!(self.edges.len(), self.counts.len() + 1, "edge/count mismatch");
+        self.try_render(width, height)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Renders to SVG, rejecting empty edges (which used to crash with
+    /// an opaque `unwrap` on `edges.last()`) and edge/count mismatches
+    /// with a [`ReportError`].
+    pub fn try_render(&self, width: f64, height: f64) -> Result<String, ReportError> {
+        if self.edges.is_empty() {
+            return Err(ReportError::EmptyData {
+                what: "histogram edges",
+            });
+        }
+        if self.edges.len() != self.counts.len() + 1 {
+            return Err(ReportError::ShapeMismatch {
+                what: "edge/count mismatch",
+                expected: self.counts.len() + 1,
+                got: self.edges.len(),
+            });
+        }
         let mut doc = SvgDoc::new(width, height);
         let pw = width - MARGIN_L - MARGIN_R;
         let ph = height - MARGIN_T - MARGIN_B;
         let max = *self.counts.iter().max().unwrap_or(&1) as f64;
         let lo = self.edges[0];
-        let hi = *self.edges.last().unwrap();
+        let hi = *self.edges.last().expect("edges checked non-empty above");
         let sx = |x: f64| MARGIN_L + (x - lo) / (hi - lo).max(1e-12) * pw;
         doc.rect(MARGIN_L, MARGIN_T, pw, ph, "#fbfbfb", Some("#444444"));
         for (k, &c) in self.counts.iter().enumerate() {
             let x0 = sx(self.edges[k]);
             let x1 = sx(self.edges[k + 1]);
             let h = ph * c as f64 / max.max(1.0);
-            doc.rect(x0 + 0.5, MARGIN_T + ph - h, (x1 - x0 - 1.0).max(0.5), h, PALETTE[0], None);
+            doc.rect(
+                x0 + 0.5,
+                MARGIN_T + ph - h,
+                (x1 - x0 - 1.0).max(0.5),
+                h,
+                PALETTE[0],
+                None,
+            );
         }
         for t in ticks(lo, hi, 6) {
             doc.text(sx(t), MARGIN_T + ph + 16.0, &fmt_tick(t), 11.0, "middle");
@@ -494,9 +637,15 @@ impl Histogram {
             doc.text(MARGIN_L - 7.0, y + 4.0, &fmt_tick(t), 11.0, "end");
         }
         doc.text(width / 2.0, 18.0, &self.title, 14.0, "middle");
-        doc.text(MARGIN_L + pw / 2.0, height - 14.0, &self.x_label, 12.0, "middle");
+        doc.text(
+            MARGIN_L + pw / 2.0,
+            height - 14.0,
+            &self.x_label,
+            12.0,
+            "middle",
+        );
         doc.vtext(18.0, MARGIN_T + ph / 2.0, &self.y_label, 12.0);
-        doc.finish()
+        Ok(doc.finish())
     }
 }
 
@@ -530,5 +679,38 @@ mod histogram_tests {
         let svg = h.render(400.0, 300.0);
         // Background + frame + ≥3 nonzero bars.
         assert!(svg.matches("<rect").count() >= 5);
+    }
+
+    #[test]
+    fn empty_edges_error_instead_of_index_panic() {
+        // Regression: a directly-constructed histogram with no edges
+        // used to die on `edges.last().unwrap()`.
+        let h = Histogram {
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            edges: vec![],
+            counts: vec![],
+        };
+        let err = h.try_render(300.0, 200.0).unwrap_err();
+        assert_eq!(
+            err,
+            ReportError::EmptyData {
+                what: "histogram edges"
+            }
+        );
+    }
+
+    #[test]
+    fn edge_count_mismatch_is_reported() {
+        let h = Histogram {
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            edges: vec![0.0, 1.0],
+            counts: vec![3, 4],
+        };
+        let err = h.try_render(300.0, 200.0).unwrap_err();
+        assert!(err.to_string().contains("edge/count mismatch"), "{err}");
     }
 }

@@ -13,12 +13,14 @@
 #![warn(missing_docs)]
 
 pub mod chart;
-pub mod markdown;
 pub mod csv;
+pub mod error;
+pub mod markdown;
 pub mod svg;
 pub mod table;
 
 pub use chart::{Heatmap, Histogram, LineChart, PointMap, Series};
-pub use markdown::{Align, MarkdownTable};
 pub use csv::CsvWriter;
+pub use error::ReportError;
+pub use markdown::{Align, MarkdownTable};
 pub use table::TextTable;

@@ -51,7 +51,14 @@ impl MarkdownTable {
         let esc = |s: &str| s.replace('|', "\\|");
         let mut out = String::new();
         out.push_str("| ");
-        out.push_str(&self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(" | "));
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(" | "),
+        );
         out.push_str(" |\n|");
         for a in &self.align {
             out.push_str(match a {

@@ -17,7 +17,9 @@ pub struct SvgDoc {
 
 /// Escapes text content.
 fn esc(text: &str) -> String {
-    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 impl SvgDoc {
@@ -67,7 +69,10 @@ impl SvgDoc {
         if points.len() < 2 {
             return;
         }
-        let pts: Vec<String> = points.iter().map(|(x, y)| format!("{x:.2},{y:.2}")).collect();
+        let pts: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{x:.2},{y:.2}"))
+            .collect();
         let _ = writeln!(
             self.body,
             "<polyline points=\"{}\" fill=\"none\" stroke=\"{stroke}\" stroke-width=\"{width}\"/>",
@@ -136,7 +141,11 @@ pub fn ramp_color(t: f64) -> String {
             break;
         }
     }
-    let f = if hi.0 > lo.0 { (t - lo.0) / (hi.0 - lo.0) } else { 0.0 };
+    let f = if hi.0 > lo.0 {
+        (t - lo.0) / (hi.0 - lo.0)
+    } else {
+        0.0
+    };
     let mix = |a: u8, b: u8| -> u8 { (a as f64 + f * (b as f64 - a as f64)).round() as u8 };
     format!(
         "#{:02x}{:02x}{:02x}",

@@ -83,7 +83,7 @@ proptest! {
     ) {
         let mut t = MarkdownTable::new(&["x"]);
         for c in &cells {
-            t.row(&[c.clone()]);
+            t.row(std::slice::from_ref(c));
         }
         for line in t.render().lines().skip(2) {
             // Data lines: after stripping escaped pipes and the 2

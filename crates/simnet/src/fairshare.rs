@@ -21,12 +21,19 @@ pub fn max_min_fair(capacity: f64, caps: &[f64]) -> Vec<f64> {
         return Vec::new();
     }
     for &c in caps {
-        assert!(c >= 0.0 && c.is_finite(), "caps must be finite and non-negative");
+        assert!(
+            c >= 0.0 && c.is_finite(),
+            "caps must be finite and non-negative"
+        );
     }
     // Water-filling over the sorted caps: once the per-flow share
     // exceeds a flow's cap, that flow is frozen at its cap.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| caps[a].partial_cmp(&caps[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        caps[a]
+            .partial_cmp(&caps[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut rates = vec![0.0; n];
     let mut remaining = capacity;
     let mut left = n;
@@ -137,7 +144,10 @@ pub fn weighted_max_min_fair(capacity: f64, caps: &[f64], weights: &[f64]) -> Ve
         return Vec::new();
     }
     for (&c, &w) in caps.iter().zip(weights) {
-        assert!(c >= 0.0 && c.is_finite(), "caps must be finite and non-negative");
+        assert!(
+            c >= 0.0 && c.is_finite(),
+            "caps must be finite and non-negative"
+        );
         assert!(w > 0.0 && w.is_finite(), "weights must be positive");
     }
     // Water-fill on the normalized level `cap/weight`.

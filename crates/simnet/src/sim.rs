@@ -259,7 +259,11 @@ mod tests {
     fn throughput_never_exceeds_plan_rate() {
         let records = CellSim::new(quick_cfg(10.0)).run();
         for r in &records {
-            assert!(r.throughput_mbps() <= 100.0 + 1e-6, "{}", r.throughput_mbps());
+            assert!(
+                r.throughput_mbps() <= 100.0 + 1e-6,
+                "{}",
+                r.throughput_mbps()
+            );
         }
     }
 
@@ -280,10 +284,10 @@ mod tests {
         let sim = CellSim::new(cfg.clone());
         let records = sim.run();
         // At the busy window the profile ≈ 1; expected count:
-        let expect = cfg.subscribers as f64 * cfg.busy_hour_mbps_per_sub * 1e6 * 3600.0
-            * cfg.duration_h
-            / cfg.sizes.mean_bits()
-            * 0.97; // profile average over 19:00–20:00
+        let expect =
+            cfg.subscribers as f64 * cfg.busy_hour_mbps_per_sub * 1e6 * 3600.0 * cfg.duration_h
+                / cfg.sizes.mean_bits()
+                * 0.97; // profile average over 19:00–20:00
         let got = records.len() as f64;
         assert!(
             (got - expect).abs() / expect < 0.25,
@@ -319,8 +323,7 @@ mod littles_law {
         // λ from the realized arrivals; E[T] from realized durations;
         // E[N] from ∑durations / span (time-average occupancy).
         let lambda = records.len() as f64 / span_s;
-        let mean_t: f64 =
-            records.iter().map(|r| r.duration_s).sum::<f64>() / records.len() as f64;
+        let mean_t: f64 = records.iter().map(|r| r.duration_s).sum::<f64>() / records.len() as f64;
         let mean_n: f64 = records.iter().map(|r| r.duration_s).sum::<f64>() / span_s;
         let rel = (mean_n - lambda * mean_t).abs() / mean_n;
         assert!(rel < 1e-9, "identity violated: {rel}");

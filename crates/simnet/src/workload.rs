@@ -64,7 +64,11 @@ impl SizeDistribution {
     pub fn mean_bits(&self) -> f64 {
         match *self {
             SizeDistribution::LogNormal { mean_mb, .. } => mean_mb * MB_TO_BITS,
-            SizeDistribution::BoundedPareto { alpha, min_mb, max_mb } => {
+            SizeDistribution::BoundedPareto {
+                alpha,
+                min_mb,
+                max_mb,
+            } => {
                 // E[S] for bounded Pareto on [L, H]:
                 // α L^α (H^{1−α} − L^{1−α}) / ((1−α)(1 − (L/H)^α)), α ≠ 1.
                 let (l, h) = (min_mb * MB_TO_BITS, max_mb * MB_TO_BITS);
@@ -90,7 +94,11 @@ impl SizeDistribution {
                 let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                 (mu + sigma * z).exp()
             }
-            SizeDistribution::BoundedPareto { alpha, min_mb, max_mb } => {
+            SizeDistribution::BoundedPareto {
+                alpha,
+                min_mb,
+                max_mb,
+            } => {
                 // Inverse-CDF sampling of the truncated Pareto.
                 let (l, h) = (min_mb * MB_TO_BITS, max_mb * MB_TO_BITS);
                 let u: f64 = rng.gen_range(0.0..1.0);
@@ -117,7 +125,10 @@ mod tests {
         let d = SizeDistribution::residential_default();
         let got = sample_mean(&d, 200_000, 1);
         let expect = d.mean_bits();
-        assert!((got - expect).abs() / expect < 0.05, "got {got} expect {expect}");
+        assert!(
+            (got - expect).abs() / expect < 0.05,
+            "got {got} expect {expect}"
+        );
     }
 
     #[test]
@@ -129,7 +140,10 @@ mod tests {
         };
         let got = sample_mean(&d, 400_000, 2);
         let expect = d.mean_bits();
-        assert!((got - expect).abs() / expect < 0.05, "got {got} expect {expect}");
+        assert!(
+            (got - expect).abs() / expect < 0.05,
+            "got {got} expect {expect}"
+        );
     }
 
     #[test]
@@ -148,7 +162,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..10_000 {
             let s = d.sample(&mut rng);
-            assert!(s >= 2.0 * MB_TO_BITS - 1e-6 && s <= 10.0 * MB_TO_BITS + 1e-6);
+            assert!((2.0 * MB_TO_BITS - 1e-6..=10.0 * MB_TO_BITS + 1e-6).contains(&s));
         }
     }
 
@@ -177,6 +191,11 @@ mod tests {
         b.sort_by(|x, y| x.partial_cmp(y).unwrap());
         let p999 = |v: &Vec<f64>| v[(v.len() as f64 * 0.999) as usize];
         // σ=1.5 lognormal is itself fat; the Pareto tail still wins.
-        assert!(p999(&b) > p999(&a), "pareto {} lognormal {}", p999(&b), p999(&a));
+        assert!(
+            p999(&b) > p999(&a),
+            "pareto {} lognormal {}",
+            p999(&b),
+            p999(&a)
+        );
     }
 }

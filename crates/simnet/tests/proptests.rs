@@ -52,7 +52,7 @@ proptest! {
         // must receive exactly w× class A's rate.
         let caps = vec![1e9; n * 2];
         let mut weights = vec![1.0; n];
-        weights.extend(std::iter::repeat(w).take(n));
+        weights.extend(std::iter::repeat_n(w, n));
         let rates = weighted_max_min_fair(capacity, &caps, &weights);
         let a = rates[0];
         let b = rates[n];

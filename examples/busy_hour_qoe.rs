@@ -9,9 +9,9 @@
 //! cargo run --release --example busy_hour_qoe
 //! ```
 
+use starlink_divide_repro::report::TextTable;
 use starlink_divide_repro::simnet::qoe::summarize;
 use starlink_divide_repro::simnet::{CellSim, SimConfig};
-use starlink_divide_repro::report::TextTable;
 
 fn main() {
     // One beam-group's share of a cell: 1 Gbps keeps the example quick

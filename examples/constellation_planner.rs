@@ -26,7 +26,13 @@ fn main() {
 
     let mut table = TextTable::new(
         format!("operating points within a {budget}-satellite budget"),
-        &["beamspread", "oversub", "satellites", "cells served", "locations served"],
+        &[
+            "beamspread",
+            "oversub",
+            "satellites",
+            "cells served",
+            "locations served",
+        ],
     );
     let mut best: Option<(f64, u32, u32)> = None;
     for b in 1..=15u32 {

@@ -9,10 +9,10 @@
 //! cargo run --release --example pass_planner -- 47.0 -109.0
 //! ```
 
+use starlink_divide_repro::geomath::LatLng;
 use starlink_divide_repro::orbit::doppler::max_doppler_hz;
 use starlink_divide_repro::orbit::passes::predict_passes;
 use starlink_divide_repro::orbit::{CircularOrbit, WalkerShell};
-use starlink_divide_repro::geomath::LatLng;
 use starlink_divide_repro::report::TextTable;
 
 fn main() {
@@ -28,7 +28,14 @@ fn main() {
     let shell = WalkerShell::starlink_gen1_shell1();
     let mut t = TextTable::new(
         "next-6-hour passes of plane-leader satellites",
-        &["plane", "AOS (min)", "LOS (min)", "duration s", "max elev", "max Doppler @12 GHz"],
+        &[
+            "plane",
+            "AOS (min)",
+            "LOS (min)",
+            "duration s",
+            "max elev",
+            "max Doppler @12 GHz",
+        ],
     );
     let mut total_passes = 0;
     for plane in (0..shell.planes).step_by(12) {
@@ -42,7 +49,10 @@ fn main() {
                 format!("{:.1}", p.los_s / 60.0),
                 format!("{:.0}", p.duration_s()),
                 format!("{:.0} deg", p.max_elevation_deg),
-                format!("{:.0} kHz", max_doppler_hz(&orbit, &ground, 12.0, 400) / 1e3),
+                format!(
+                    "{:.0} kHz",
+                    max_doppler_hz(&orbit, &ground, 12.0, 400) / 1e3
+                ),
             ]);
         }
     }

@@ -8,13 +8,20 @@
 //! Uses the reduced test-scale dataset so it finishes in seconds; pass
 //! `--paper` for the full ~4.67 M-location dataset.
 
-use starlink_divide_repro::model::{findings, sizing, PaperModel};
 use starlink_divide_repro::capacity::beamspread::Beamspread;
 use starlink_divide_repro::capacity::DeploymentPolicy;
+use starlink_divide_repro::model::{findings, sizing, PaperModel};
 
 fn main() {
     let paper_scale = std::env::args().any(|a| a == "--paper");
-    println!("building {} dataset...", if paper_scale { "paper-scale" } else { "test-scale" });
+    println!(
+        "building {} dataset...",
+        if paper_scale {
+            "paper-scale"
+        } else {
+            "test-scale"
+        }
+    );
     let model = if paper_scale {
         PaperModel::paper_scale()
     } else {

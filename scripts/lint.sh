@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Lint gate: formatting and clippy, both as hard failures. Covers the
+# whole workspace including the vendored shims (they are workspace
+# members and compile into every build).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "[lint] cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "[lint] cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "[lint] OK"

@@ -18,12 +18,47 @@ trap 'rm -rf "$out"' EXIT
 echo "[tier1] divide --scale small all --out $out"
 ./target/release/divide --scale small all --out "$out"
 
-# The smoke run must actually produce artifacts.
-for f in fig1_cdf.csv fig2_sweep.csv fig3_tail.csv fig4_affordability.csv table2.csv; do
+# The smoke run must actually produce artifacts, plus the run manifest.
+for f in fig1_cdf.csv fig2_sweep.csv fig3_tail.csv fig4_affordability.csv table2.csv \
+         run_manifest.json; do
     [ -s "$out/$f" ] || { echo "[tier1] missing artifact: $f" >&2; exit 1; }
 done
 
+echo "[tier1] divide fig2 --quiet --metrics-out writes a valid bench record"
+bench="$out/BENCH_fig2.json"
+quiet_err="$out/quiet_stderr.txt"
+./target/release/divide --scale small fig2 --out "$out" --quiet \
+    --metrics-out "$bench" 2>"$quiet_err"
+if grep -q '\[info\]' "$quiet_err"; then
+    echo "[tier1] --quiet leaked info-level stderr:" >&2
+    cat "$quiet_err" >&2
+    exit 1
+fi
+python3 - "$bench" "$out/run_manifest.json" <<'PY'
+import json, sys
+
+bench = json.load(open(sys.argv[1]))
+for key in ("schema", "command", "scale", "seed", "threads", "wall_ms",
+            "stages", "counters"):
+    assert key in bench, f"bench record missing {key!r}"
+assert bench["schema"] == "leo-obs/bench/v1", bench["schema"]
+assert bench["command"] == "fig2", bench["command"]
+assert bench["seed"] == 7, bench["seed"]
+assert bench["threads"] >= 1, bench["threads"]
+assert "dataset" in bench["stages"] and "fig2" in bench["stages"], bench["stages"]
+
+manifest = json.load(open(sys.argv[2]))
+for key in ("schema", "command", "seed", "threads", "stages", "spans", "metrics"):
+    assert key in manifest, f"run manifest missing {key!r}"
+stage_names = [s["name"] for s in manifest["stages"]]
+assert stage_names[0] == "dataset", stage_names
+print("[tier1] bench record and manifest validate")
+PY
+
 echo "[tier1] divide --help exits 0 and lists every command"
-./target/release/divide --help | grep -q timeline
+# Capture first: `grep -q` closing the pipe early would EPIPE divide.
+help_out="$(./target/release/divide --help)"
+grep -q timeline <<<"$help_out"
+grep -q metrics-out <<<"$help_out"
 
 echo "[tier1] OK"

@@ -17,6 +17,7 @@
 //! * [`model`] — the paper's analytical model (findings F1–F4)
 //! * [`simnet`] — flow-level oversubscription QoE simulator
 //! * [`report`] — tables, CSV, and SVG figure rendering
+//! * [`obs`] — spans, metrics, run manifests, leveled logging
 
 #![forbid(unsafe_code)]
 
@@ -24,6 +25,7 @@ pub use leo_capacity as capacity;
 pub use leo_demand as demand;
 pub use leo_geomath as geomath;
 pub use leo_hexgrid as hexgrid;
+pub use leo_obs as obs;
 pub use leo_orbit as orbit;
 pub use leo_parallel as parallel;
 pub use leo_report as report;

@@ -7,6 +7,7 @@
 use starlink_divide_repro::demand::dataset::{BroadbandDataset, SynthConfig};
 use starlink_divide_repro::model::{coverage_sweep, demand_stats, sizing, PaperModel};
 use starlink_divide_repro::parallel::with_threads;
+use starlink_divide_repro::report::{CsvWriter, Heatmap};
 
 /// Everything the figures consume, regenerated from scratch at a given
 /// worker count.
@@ -74,6 +75,61 @@ fn oversubscribed_thread_counts_also_agree() {
     assert_eq!(few.stats, many.stats);
     assert_eq!(few.table2, many.table2);
     assert_eq!(few.cell_counts, many.cell_counts);
+}
+
+/// The exact bytes of representative artifacts (Fig 1 CDF CSV, Fig 2
+/// sweep CSV, Fig 2 heatmap SVG), rendered in-process the same way the
+/// CLI renders them.
+fn artifact_bytes(threads: usize) -> (String, String, String) {
+    with_threads(threads, || {
+        let model = PaperModel::new(BroadbandDataset::generate(&SynthConfig::small()));
+        let mut fig1 = CsvWriter::new();
+        fig1.record(&["locations_per_cell", "cumulative_probability"]);
+        for &(x, p) in &demand_stats::cdf_series(&model, 400) {
+            fig1.record_display(&[x as f64, p]);
+        }
+        let s = coverage_sweep::sweep(&model);
+        let mut fig2 = CsvWriter::new();
+        fig2.record(&["beamspread", "oversubscription", "fraction_served"]);
+        for (bi, &b) in s.beamspreads.iter().enumerate() {
+            for (ri, &r) in s.oversubs.iter().enumerate() {
+                fig2.record_display(&[b as f64, r as f64, s.fraction[bi][ri]]);
+            }
+        }
+        let heatmap = Heatmap {
+            title: "Fig 2: fraction of US cells served".into(),
+            x_label: "oversubscription factor".into(),
+            y_label: "beamspread factor".into(),
+            xs: s.oversubs.clone(),
+            ys: s.beamspreads.clone(),
+            values: s.fraction.clone(),
+        };
+        (
+            fig1.finish().to_string(),
+            fig2.finish().to_string(),
+            heatmap.render(760.0, 460.0),
+        )
+    })
+}
+
+/// The observability determinism contract (leo-obs crate docs): spans,
+/// metrics, and the logger only *observe* — turning them off must not
+/// change a single artifact byte, at any thread count.
+#[test]
+fn observability_does_not_perturb_artifact_bytes() {
+    use starlink_divide_repro::obs;
+
+    obs::set_enabled(true);
+    let on_1 = artifact_bytes(1);
+    let on_4 = artifact_bytes(4);
+    obs::set_enabled(false);
+    let off_1 = artifact_bytes(1);
+    let off_4 = artifact_bytes(4);
+    obs::set_enabled(true);
+
+    assert_eq!(on_1, off_1, "obs on/off differ at 1 thread");
+    assert_eq!(on_4, off_4, "obs on/off differ at 4 threads");
+    assert_eq!(on_1, on_4, "thread count leaked into artifacts");
 }
 
 /// Replays the checked-in proptest regression

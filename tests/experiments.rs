@@ -45,14 +45,25 @@ fn figure3_curves_hit_table2_and_step_down() {
     let curves = tail::figure3(m, 50_000);
     assert_eq!(curves.len(), 6);
     for c in &curves {
-        assert!(c.points.len() >= 2, "b={} has {} points", c.beamspread, c.points.len());
+        assert!(
+            c.points.len() >= 2,
+            "b={} has {} points",
+            c.beamspread,
+            c.points.len()
+        );
         for w in c.points.windows(2) {
             assert!(w[0].constellation >= w[1].constellation);
             assert!(w[0].unserved <= w[1].unserved);
         }
     }
     // The 20:1 curves start at the Table 2 capped values (±1%).
-    let expect = [(1u32, 80_567u64), (2, 41_261), (5, 16_750), (10, 8_417), (15, 5_621)];
+    let expect = [
+        (1u32, 80_567u64),
+        (2, 41_261),
+        (5, 16_750),
+        (10, 8_417),
+        (15, 5_621),
+    ];
     for (c, &(b, n)) in curves.iter().zip(&expect) {
         assert_eq!(c.beamspread, b);
         let rel = (c.points[0].constellation as f64 - n as f64).abs() / n as f64;
@@ -176,7 +187,8 @@ fn lifeline_subsidy_value_is_applied_exactly() {
     let with = IspPlan::starlink_with_lifeline();
     let without = IspPlan::starlink_residential();
     assert!(
-        (without.monthly_usd - with.monthly_usd
+        (without.monthly_usd
+            - with.monthly_usd
             - starlink_divide_repro::demand::LIFELINE_SUBSIDY_USD)
             .abs()
             < 1e-9

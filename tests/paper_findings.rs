@@ -102,7 +102,10 @@ fn headline_narrative_the_title_claim() {
     // everywhere": serving all demand within the FCC benchmark needs
     // >5x the current constellation at beamspread 2.
     let m = model();
-    let needed =
-        sizing::constellation_size(m, DeploymentPolicy::fcc_capped(), Beamspread::new(2).unwrap());
+    let needed = sizing::constellation_size(
+        m,
+        DeploymentPolicy::fcc_capped(),
+        Beamspread::new(2).unwrap(),
+    );
     assert!(needed as f64 / starlink_divide_repro::model::CURRENT_CONSTELLATION_SIZE as f64 > 5.0);
 }

@@ -142,6 +142,10 @@ fn grid_cells_have_uniform_area() {
         let boundary = m.dataset.grid.cell_boundary(id);
         let poly = starlink_divide_repro::geomath::GeoPolygon::new(boundary.to_vec()).unwrap();
         let rel = (poly.area_km2() - STARLINK_CELL_AREA_KM2).abs() / STARLINK_CELL_AREA_KM2;
-        assert!(rel < 5e-3, "cell {id}: area {} (rel {rel})", poly.area_km2());
+        assert!(
+            rel < 5e-3,
+            "cell {id}: area {} (rel {rel})",
+            poly.area_km2()
+        );
     }
 }

@@ -87,7 +87,11 @@ fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, f: &mut F) {
     f(&mut b);
     if b.iters > 0 {
         let per_iter = b.total.as_secs_f64() / b.iters as f64;
-        println!("bench {id:<48} {:>12.3} ms/iter ({} iters)", per_iter * 1e3, b.iters);
+        println!(
+            "bench {id:<48} {:>12.3} ms/iter ({} iters)",
+            per_iter * 1e3,
+            b.iters
+        );
     } else {
         println!("bench {id:<48} (no timing loop)");
     }

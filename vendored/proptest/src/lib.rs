@@ -311,7 +311,9 @@ pub mod string {
     }
 
     fn unsupported(pattern: &str) -> Error {
-        Error(format!("unsupported pattern for vendored proptest: {pattern:?}"))
+        Error(format!(
+            "unsupported pattern for vendored proptest: {pattern:?}"
+        ))
     }
 
     /// See [`string_regex`].
@@ -338,7 +340,7 @@ pub mod string {
 pub fn case_rng(test_name: &str, case: u64) -> StdRng {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
     for b in test_name.bytes() {
-        h = (h ^ b as u64).wrapping_mul(0x1_0000_0001_b3);
+        h = (h ^ b as u64).wrapping_mul(0x0100_0000_01b3);
     }
     StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
