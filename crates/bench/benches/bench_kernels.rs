@@ -1,0 +1,232 @@
+//! Hot-kernel benchmarks: the three geometry paths rewritten for the
+//! snapshot-cache PR (hoisted-trig Gaussian field, tile-pruned metro
+//! distance, bucket-grid county-seat lookup), each against an inline
+//! replica of the pre-rewrite full-scan code, plus snapshot
+//! encode/decode throughput. The regression gates assert the rewritten
+//! kernels are *bit-identical* to their naive baselines — the speedups
+//! must come for free.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leo_bench::shared_model;
+use leo_cache::{decode_dataset, encode_dataset};
+use leo_demand::counties::SeatIndex;
+use leo_demand::field::SmoothField;
+use leo_demand::geography::{distance_to_nearest_metro_km, METRO_CENTERS};
+use leo_geomath::{great_circle_distance_km, pre_distance_km, GeoBBox, LatLng, PrePoint};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// CONUS-ish probe batch shared by every kernel bench.
+fn probes(n: usize) -> Vec<LatLng> {
+    let mut rng = StdRng::seed_from_u64(0x5eed);
+    (0..n)
+        .map(|_| LatLng::new(rng.gen_range(24.0..50.0), rng.gen_range(-125.0..-66.0)))
+        .collect()
+}
+
+/// The pre-rewrite field kernel: raw haversine per bump, nothing
+/// hoisted. Bump parameters mirror `SmoothField::new`'s distribution.
+struct NaiveField {
+    bumps: Vec<(LatLng, f64, f64)>,
+}
+
+impl NaiveField {
+    fn new(seed: u64, bbox: &GeoBBox, n_bumps: usize, scale_km: (f64, f64)) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bumps = (0..n_bumps)
+            .map(|_| {
+                let center = LatLng::new(
+                    rng.gen_range(bbox.lat_min..bbox.lat_max),
+                    rng.gen_range(bbox.lng_min..bbox.lng_max),
+                );
+                let scale = rng.gen_range(scale_km.0..scale_km.1);
+                let amplitude = rng.gen_range(0.0..1.0f64);
+                (center, scale, amplitude)
+            })
+            .collect();
+        NaiveField { bumps }
+    }
+
+    fn value(&self, p: &LatLng) -> f64 {
+        self.bumps
+            .iter()
+            .map(|(center, scale, amplitude)| {
+                let d = great_circle_distance_km(p, center);
+                amplitude * (-0.5 * (d / scale).powi(2)).exp()
+            })
+            .sum()
+    }
+
+    /// The rewritten kernel over the *same* bumps, for the bit-identity
+    /// gate (the real `SmoothField` draws its own bumps from its seed).
+    fn hoisted(&self) -> Vec<(PrePoint, f64, f64)> {
+        self.bumps
+            .iter()
+            .map(|(c, s, a)| (PrePoint::new(c), *s, *a))
+            .collect()
+    }
+}
+
+fn hoisted_value(bumps: &[(PrePoint, f64, f64)], p: &LatLng) -> f64 {
+    let q = PrePoint::new(p);
+    bumps
+        .iter()
+        .map(|(center, scale, amplitude)| {
+            let d = pre_distance_km(&q, center);
+            amplitude * (-0.5 * (d / scale).powi(2)).exp()
+        })
+        .sum()
+}
+
+/// The pre-rewrite metro kernel: full haversine scan over all anchors.
+fn naive_metro_km(p: &LatLng) -> f64 {
+    METRO_CENTERS
+        .iter()
+        .map(|&(lat, lng)| great_circle_distance_km(p, &LatLng::new(lat, lng)))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// The pre-rewrite seat kernel: brute-force haversine argmin.
+fn brute_seat(seats: &[LatLng], p: &LatLng) -> u32 {
+    seats
+        .iter()
+        .enumerate()
+        .fold((f64::INFINITY, 0u32), |(best, id), (i, s)| {
+            let d = great_circle_distance_km(p, s);
+            if d < best {
+                (d, i as u32)
+            } else {
+                (best, id)
+            }
+        })
+        .1
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let batch = probes(512);
+    let bbox = GeoBBox::new(24.0, 50.0, -125.0, -66.0);
+
+    // Kernel 1: Gaussian field evaluation (hot inside score_cells).
+    let naive_field = NaiveField::new(99, &bbox, 600, (40.0, 220.0));
+    let hoisted = naive_field.hoisted();
+    let real_field = SmoothField::new(99, &bbox, 600, (40.0, 220.0));
+    c.bench_function("kernels/field_value/naive", |b| {
+        b.iter(|| {
+            for p in &batch[..32] {
+                black_box(naive_field.value(p));
+            }
+        })
+    });
+    c.bench_function("kernels/field_value/hoisted", |b| {
+        b.iter(|| {
+            for p in &batch[..32] {
+                black_box(hoisted_value(&hoisted, p));
+            }
+        })
+    });
+    c.bench_function("kernels/field_value/smooth_field", |b| {
+        b.iter(|| {
+            for p in &batch[..32] {
+                black_box(real_field.value(p));
+            }
+        })
+    });
+
+    // Kernel 2: distance to the nearest metro (hot inside remoteness).
+    c.bench_function("kernels/nearest_metro/full_scan", |b| {
+        b.iter(|| {
+            for p in &batch {
+                black_box(naive_metro_km(p));
+            }
+        })
+    });
+    c.bench_function("kernels/nearest_metro/indexed", |b| {
+        b.iter(|| {
+            for p in &batch {
+                black_box(distance_to_nearest_metro_km(p));
+            }
+        })
+    });
+
+    // Kernel 3: nearest county seat (hot inside county assignment).
+    let mut rng = StdRng::seed_from_u64(0xc0ffee);
+    let seats: Vec<LatLng> = (0..3108)
+        .map(|_| LatLng::new(rng.gen_range(24.0..50.0), rng.gen_range(-125.0..-66.0)))
+        .collect();
+    let index = SeatIndex::new(seats.clone());
+    c.bench_function("kernels/seat_nearest/brute", |b| {
+        b.iter(|| {
+            for p in &batch[..64] {
+                black_box(brute_seat(&seats, p));
+            }
+        })
+    });
+    c.bench_function("kernels/seat_nearest/indexed", |b| {
+        b.iter(|| {
+            for p in &batch[..64] {
+                black_box(index.nearest(p));
+            }
+        })
+    });
+
+    // Snapshot codec throughput over the shared test-scale dataset.
+    let ds = &shared_model().dataset;
+    let payload = encode_dataset(ds);
+    let mut group = c.benchmark_group("cache");
+    group.sample_size(20);
+    group.bench_function("snapshot_encode", |b| {
+        b.iter(|| black_box(encode_dataset(black_box(ds))))
+    });
+    group.bench_function("snapshot_decode", |b| {
+        b.iter(|| black_box(decode_dataset(black_box(&payload)).expect("valid payload")))
+    });
+    group.finish();
+
+    // Regression gates: the rewrites must agree with the baselines to
+    // the last bit, and the codec must round-trip.
+    for p in &batch {
+        assert_eq!(
+            hoisted_value(&hoisted, p).to_bits(),
+            naive_field.value(p).to_bits(),
+            "hoisted field diverged at {p}"
+        );
+        assert_eq!(
+            distance_to_nearest_metro_km(p).to_bits(),
+            naive_metro_km(p).to_bits(),
+            "indexed metro distance diverged at {p}"
+        );
+        assert_eq!(
+            index.nearest(p),
+            brute_seat(&seats, p),
+            "seat diverged at {p}"
+        );
+    }
+    let decoded = decode_dataset(&payload).expect("round trip");
+    assert_eq!(decoded.cells.len(), ds.cells.len());
+    assert_eq!(decoded.total_locations, ds.total_locations);
+
+    // Codec throughput in engineering units for EXPERIMENTS.md.
+    let mb = payload.len() as f64 / (1024.0 * 1024.0);
+    let reps = 50;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        black_box(encode_dataset(black_box(ds)));
+    }
+    let enc_s = t0.elapsed().as_secs_f64() / reps as f64;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        black_box(decode_dataset(black_box(&payload)).expect("valid"));
+    }
+    let dec_s = t0.elapsed().as_secs_f64() / reps as f64;
+    println!(
+        "KERNELS: snapshot payload {:.2} MiB; encode {:.0} MiB/s; decode {:.0} MiB/s",
+        mb,
+        mb / enc_s,
+        mb / dec_s
+    );
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,261 @@
+//! Little-endian binary codec, `std` only.
+//!
+//! Deliberately minimal: fixed-width unsigned integers, `f64` as raw
+//! IEEE-754 bits (so values round-trip *exactly* — the determinism
+//! contract forbids any reformat-through-text wobble), and
+//! length-prefixed sequences. There is no reflection and no
+//! self-description; layout compatibility is governed entirely by
+//! [`crate::store::SCHEMA_VERSION`], which is baked into both the
+//! container header and the content key.
+
+use std::fmt;
+
+/// Why a decode failed. Decode errors are *expected* runtime events
+/// (corrupt or stale snapshot files) and always resolve to
+/// regeneration, never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the requested field.
+    Truncated {
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A structurally impossible value (invalid cell id, length that
+    /// exceeds the remaining input, ...).
+    Invalid(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, available } => {
+                write!(f, "truncated input: needed {needed} bytes, had {available}")
+            }
+            DecodeError::Invalid(what) => write!(f, "invalid field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Append-only encoder over a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// An empty encoder with `capacity` bytes pre-reserved.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Encoder {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its raw IEEE-754 bits (exact round-trip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a length or count as a `u64` (platform-independent).
+    pub fn put_len(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends raw bytes with no framing.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The finished byte buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Sequential reader over a byte slice.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// A decoder positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    /// Reads an `f64` from raw bits.
+    pub fn take_f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Reads a sequence length and validates it against the remaining
+    /// input (`len * min_elem_bytes` must still fit), so a corrupt
+    /// length can never drive an absurd allocation.
+    pub fn take_len(&mut self, min_elem_bytes: usize) -> Result<usize, DecodeError> {
+        let raw = self.take_u64()?;
+        let len = usize::try_from(raw).map_err(|_| DecodeError::Invalid("length overflows"))?;
+        match len.checked_mul(min_elem_bytes.max(1)) {
+            Some(total) if total <= self.remaining() => Ok(len),
+            _ => Err(DecodeError::Invalid("length exceeds remaining input")),
+        }
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn take_bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        self.take(n)
+    }
+
+    /// Verifies the input was consumed exactly.
+    pub fn expect_empty(&self) -> Result<(), DecodeError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(DecodeError::Invalid("trailing bytes after payload"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trip() {
+        let mut e = Encoder::new();
+        e.put_u8(7);
+        e.put_u32(0xDEAD_BEEF);
+        e.put_u64(u64::MAX - 1);
+        e.put_f64(-0.1);
+        e.put_f64(f64::NEG_INFINITY);
+        e.put_len(3);
+        e.put_bytes(b"abc");
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.take_u8().unwrap(), 7);
+        assert_eq!(d.take_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.take_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(d.take_f64().unwrap().to_bits(), (-0.1f64).to_bits());
+        assert_eq!(d.take_f64().unwrap(), f64::NEG_INFINITY);
+        assert_eq!(d.take_len(1).unwrap(), 3);
+        assert_eq!(d.take_bytes(3).unwrap(), b"abc");
+        d.expect_empty().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_reported_not_panicked() {
+        let mut e = Encoder::new();
+        e.put_u64(1);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes[..5]);
+        match d.take_u64() {
+            Err(DecodeError::Truncated {
+                needed: 8,
+                available: 5,
+            }) => {}
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absurd_lengths_are_rejected() {
+        let mut e = Encoder::new();
+        e.put_len(usize::MAX / 2);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(
+            d.take_len(8),
+            Err(DecodeError::Invalid("length exceeds remaining input"))
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut e = Encoder::new();
+        e.put_u32(1);
+        e.put_u8(0);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        d.take_u32().unwrap();
+        assert!(d.expect_empty().is_err());
+    }
+
+    #[test]
+    fn nan_bits_round_trip_exactly() {
+        // A non-canonical NaN payload must survive (bits, not values).
+        let weird_nan = f64::from_bits(0x7FF8_0000_0000_1234);
+        let mut e = Encoder::new();
+        e.put_f64(weird_nan);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.take_f64().unwrap().to_bits(), weird_nan.to_bits());
+    }
+}

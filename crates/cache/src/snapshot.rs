@@ -1,0 +1,426 @@
+//! Domain snapshots: the generated dataset and the Fig 2 sweep rows.
+//!
+//! ## Payload layouts (schema v1)
+//!
+//! **`dataset`** — `us_cell_count`, then the demand cells (`cell id`,
+//! `locations`, `county`; the center is *recomputed* on decode through
+//! the same `GeoHexGrid::cell_center` call the generator uses, so it is
+//! bit-identical by construction and costs no snapshot bytes), then the
+//! counties (`seat lat/lng`, `income`, `locations`, `remoteness` — all
+//! floats as raw bits), then the pre-sorted per-cell count view so a
+//! warm run skips even the Fig 1 sort.
+//!
+//! **`fig2`** — both axis vectors and the full fraction grid as raw
+//! `f64` bits.
+//!
+//! ## Keys
+//!
+//! [`dataset_key`] digests the codec schema version, the workspace
+//! crate version, and every field of
+//! [`SynthConfig`](leo_demand::dataset::SynthConfig) — seed, county
+//! count, calibration total, the quantile-curve anchors, and the
+//! pinned anchor cells. [`sweep_key`] additionally digests the
+//! capacity model's beam plan and the sweep axes, and chains the
+//! dataset key so a different dataset can never serve stale sweep rows.
+
+use crate::codec::{DecodeError, Decoder, Encoder};
+use crate::key::KeyHasher;
+use crate::store::{SnapshotStore, SCHEMA_VERSION};
+use leo_demand::counties::County;
+use leo_demand::dataset::{BroadbandDataset, CellDemand, SynthConfig};
+use leo_geomath::LatLng;
+use leo_hexgrid::{CellId, GeoHexGrid};
+use starlink_divide::coverage_sweep::{self, CoverageSweep};
+use starlink_divide::PaperModel;
+use std::path::PathBuf;
+
+/// Snapshot kind for the generated dataset.
+pub const DATASET_KIND: &str = "dataset";
+/// Snapshot kind for the Fig 2 coverage-sweep grid.
+pub const FIG2_KIND: &str = "fig2";
+
+/// The content key of a dataset snapshot: a structural hash of
+/// everything generation depends on. Any change to the config, the
+/// payload schema, or the crate version changes the key — and with it
+/// the snapshot's filename.
+pub fn dataset_key(cfg: &SynthConfig) -> u64 {
+    let mut h = KeyHasher::new();
+    h.write_str("leo-cache/dataset");
+    h.write_u32(SCHEMA_VERSION);
+    h.write_str(env!("CARGO_PKG_VERSION"));
+    h.write_u64(cfg.seed);
+    h.write_u64(cfg.n_counties as u64);
+    h.write_u64(cfg.calibration.total_locations);
+    let curve = cfg.calibration.curve.anchors();
+    h.write_u64(curve.len() as u64);
+    for &(u, v) in curve {
+        h.write_f64(u);
+        h.write_f64(v);
+    }
+    h.write_u64(cfg.calibration.anchors.len() as u64);
+    for a in &cfg.calibration.anchors {
+        h.write_u64(a.count);
+        h.write_f64(a.lat);
+        h.write_f64(a.lng);
+    }
+    h.finish()
+}
+
+/// The content key of a Fig 2 sweep snapshot: the dataset key chained
+/// with the capacity model's beam plan and the sweep axes.
+pub fn sweep_key(cfg: &SynthConfig, model: &PaperModel) -> u64 {
+    let mut h = KeyHasher::new();
+    h.write_str("leo-cache/fig2");
+    h.write_u64(dataset_key(cfg));
+    h.write_f64(model.capacity.max_cell_capacity_gbps());
+    h.write_f64(model.capacity.beam_capacity_gbps());
+    h.write_u32(model.capacity.ut_beams());
+    h.write_u32(model.capacity.total_beams());
+    let (beamspreads, oversubs) = coverage_sweep::default_axes();
+    h.write_u64(beamspreads.len() as u64);
+    for b in beamspreads {
+        h.write_u32(b);
+    }
+    h.write_u64(oversubs.len() as u64);
+    for o in oversubs {
+        h.write_u32(o);
+    }
+    h.finish()
+}
+
+/// Encodes a dataset into the schema-v1 payload.
+pub fn encode_dataset(ds: &BroadbandDataset) -> Vec<u8> {
+    // 20 B per cell + 40 B per county + 8 B per sorted count.
+    let estimate = 32 + ds.cells.len() * 28 + ds.counties.len() * 40;
+    let mut e = Encoder::with_capacity(estimate);
+    e.put_len(ds.us_cell_count);
+    e.put_len(ds.cells.len());
+    for c in &ds.cells {
+        e.put_u64(c.cell.as_u64());
+        e.put_u64(c.locations);
+        e.put_u32(c.county);
+    }
+    e.put_len(ds.counties.len());
+    for c in &ds.counties {
+        e.put_f64(c.seat.lat_deg());
+        e.put_f64(c.seat.lng_deg());
+        e.put_f64(c.median_income_usd);
+        e.put_u64(c.locations);
+        e.put_f64(c.remoteness_km);
+    }
+    let sorted = ds.sorted_counts();
+    e.put_len(sorted.len());
+    for &v in sorted.iter() {
+        e.put_u64(v);
+    }
+    e.finish()
+}
+
+/// Decodes a schema-v1 dataset payload. The grid is rebuilt from its
+/// fixed construction (`GeoHexGrid::starlink`) and cell centers are
+/// recomputed through it — the identical call generation makes, so the
+/// decoded dataset is bit-equal to a fresh generation of the same
+/// config.
+pub fn decode_dataset(payload: &[u8]) -> Result<BroadbandDataset, DecodeError> {
+    let mut d = Decoder::new(payload);
+    let grid = GeoHexGrid::starlink();
+    // A bare count, not a sequence length — no elements follow it.
+    let us_cell_count = usize::try_from(d.take_u64()?)
+        .map_err(|_| DecodeError::Invalid("us_cell_count overflows"))?;
+    let n_cells = d.take_len(20)?;
+    let mut cells = Vec::with_capacity(n_cells);
+    for _ in 0..n_cells {
+        let raw = d.take_u64()?;
+        let cell = CellId::from_u64(raw).ok_or(DecodeError::Invalid("bad cell id"))?;
+        let locations = d.take_u64()?;
+        let county = d.take_u32()?;
+        let center = grid.cell_center(cell);
+        cells.push(CellDemand {
+            cell,
+            center,
+            locations,
+            county,
+        });
+    }
+    let n_counties = d.take_len(40)?;
+    let mut counties = Vec::with_capacity(n_counties);
+    for i in 0..n_counties {
+        let lat = d.take_f64()?;
+        let lng = d.take_f64()?;
+        let median_income_usd = d.take_f64()?;
+        let locations = d.take_u64()?;
+        let remoteness_km = d.take_f64()?;
+        counties.push(County {
+            id: i as u32,
+            seat: LatLng::new(lat, lng),
+            median_income_usd,
+            locations,
+            remoteness_km,
+        });
+    }
+    let n_sorted = d.take_len(8)?;
+    if n_sorted != n_cells {
+        return Err(DecodeError::Invalid("sorted-count length != cell count"));
+    }
+    let mut sorted = Vec::with_capacity(n_sorted);
+    for _ in 0..n_sorted {
+        sorted.push(d.take_u64()?);
+    }
+    if sorted.windows(2).any(|w| w[0] > w[1]) {
+        return Err(DecodeError::Invalid("sorted counts not ascending"));
+    }
+    d.expect_empty()?;
+    let ds = BroadbandDataset::from_parts(grid, cells, us_cell_count, counties);
+    ds.prime_sorted_counts(sorted);
+    Ok(ds)
+}
+
+/// Encodes a coverage sweep into the schema-v1 payload.
+pub fn encode_sweep(s: &CoverageSweep) -> Vec<u8> {
+    let mut e = Encoder::with_capacity(
+        24 + (s.beamspreads.len() + s.oversubs.len()) * 4
+            + s.beamspreads.len() * s.oversubs.len() * 8,
+    );
+    e.put_len(s.beamspreads.len());
+    for &b in &s.beamspreads {
+        e.put_u32(b);
+    }
+    e.put_len(s.oversubs.len());
+    for &o in &s.oversubs {
+        e.put_u32(o);
+    }
+    for row in &s.fraction {
+        for &f in row {
+            e.put_f64(f);
+        }
+    }
+    e.finish()
+}
+
+/// Decodes a schema-v1 coverage-sweep payload.
+pub fn decode_sweep(payload: &[u8]) -> Result<CoverageSweep, DecodeError> {
+    let mut d = Decoder::new(payload);
+    let n_b = d.take_len(4)?;
+    let mut beamspreads = Vec::with_capacity(n_b);
+    for _ in 0..n_b {
+        beamspreads.push(d.take_u32()?);
+    }
+    let n_o = d.take_len(4)?;
+    let mut oversubs = Vec::with_capacity(n_o);
+    for _ in 0..n_o {
+        oversubs.push(d.take_u32()?);
+    }
+    if n_b
+        .checked_mul(n_o)
+        .and_then(|cells| cells.checked_mul(8))
+        .is_none_or(|bytes| bytes > d.remaining())
+    {
+        return Err(DecodeError::Invalid("fraction grid exceeds input"));
+    }
+    let mut fraction = Vec::with_capacity(n_b);
+    for _ in 0..n_b {
+        let mut row = Vec::with_capacity(n_o);
+        for _ in 0..n_o {
+            row.push(d.take_f64()?);
+        }
+        fraction.push(row);
+    }
+    d.expect_empty()?;
+    Ok(CoverageSweep {
+        beamspreads,
+        oversubs,
+        fraction,
+    })
+}
+
+/// The high-level cache the CLI drives: load-or-generate for the
+/// dataset and the Fig 2 sweep, over one [`SnapshotStore`].
+#[derive(Debug, Clone)]
+pub struct DatasetCache {
+    store: SnapshotStore,
+}
+
+impl DatasetCache {
+    /// A cache rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DatasetCache {
+            store: SnapshotStore::new(dir),
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &SnapshotStore {
+        &self.store
+    }
+
+    /// Loads the dataset for `cfg` from a warm snapshot, or generates
+    /// and persists it. A warm load never runs the generator (no
+    /// `demand.generate` span appears); any verification or decode
+    /// failure silently falls back to generation.
+    pub fn load_or_generate(&self, cfg: &SynthConfig) -> BroadbandDataset {
+        let key = dataset_key(cfg);
+        if let Some(payload) = self.store.load(DATASET_KIND, key, SCHEMA_VERSION) {
+            let _span = leo_obs::span!("cache.decode");
+            match decode_dataset(&payload) {
+                Ok(ds) => return ds,
+                Err(e) => {
+                    leo_obs::log_warn!(
+                        "cache: dataset snapshot {key:016x} undecodable ({e}); regenerating"
+                    );
+                    leo_obs::metrics::counter_add("cache.invalid", 1);
+                }
+            }
+        }
+        let ds = BroadbandDataset::generate(cfg);
+        let payload = {
+            let _span = leo_obs::span!("cache.encode");
+            encode_dataset(&ds)
+        };
+        self.store.save(DATASET_KIND, key, SCHEMA_VERSION, &payload);
+        ds
+    }
+
+    /// Loads the Fig 2 sweep from a warm snapshot, or computes and
+    /// persists it. `model` must be built over the dataset `cfg`
+    /// describes (the key chains both).
+    pub fn sweep(&self, cfg: &SynthConfig, model: &PaperModel) -> CoverageSweep {
+        let key = sweep_key(cfg, model);
+        if let Some(payload) = self.store.load(FIG2_KIND, key, SCHEMA_VERSION) {
+            match decode_sweep(&payload) {
+                Ok(s) => return s,
+                Err(e) => {
+                    leo_obs::log_warn!(
+                        "cache: fig2 snapshot {key:016x} undecodable ({e}); regenerating"
+                    );
+                    leo_obs::metrics::counter_add("cache.invalid", 1);
+                }
+            }
+        }
+        let s = coverage_sweep::sweep(model);
+        self.store
+            .save(FIG2_KIND, key, SCHEMA_VERSION, &encode_sweep(&s));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("leo_cache_snap_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn assert_datasets_bit_equal(a: &BroadbandDataset, b: &BroadbandDataset) {
+        assert_eq!(a.us_cell_count, b.us_cell_count);
+        assert_eq!(a.total_locations, b.total_locations);
+        assert_eq!(a.cells.len(), b.cells.len());
+        for (x, y) in a.cells.iter().zip(b.cells.iter()) {
+            assert_eq!(x.cell, y.cell);
+            assert_eq!(x.locations, y.locations);
+            assert_eq!(x.county, y.county);
+            assert_eq!(x.center.lat_deg().to_bits(), y.center.lat_deg().to_bits());
+            assert_eq!(x.center.lng_deg().to_bits(), y.center.lng_deg().to_bits());
+        }
+        assert_eq!(a.counties.len(), b.counties.len());
+        for (x, y) in a.counties.iter().zip(b.counties.iter()) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.seat.lat_deg().to_bits(), y.seat.lat_deg().to_bits());
+            assert_eq!(x.seat.lng_deg().to_bits(), y.seat.lng_deg().to_bits());
+            assert_eq!(x.median_income_usd.to_bits(), y.median_income_usd.to_bits());
+            assert_eq!(x.locations, y.locations);
+            assert_eq!(x.remoteness_km.to_bits(), y.remoteness_km.to_bits());
+        }
+        assert_eq!(*a.sorted_counts(), *b.sorted_counts());
+    }
+
+    #[test]
+    fn dataset_round_trips_bit_exactly() {
+        let ds = BroadbandDataset::generate(&SynthConfig::small());
+        let decoded = decode_dataset(&encode_dataset(&ds)).expect("decode");
+        assert_datasets_bit_equal(&ds, &decoded);
+    }
+
+    #[test]
+    fn load_or_generate_is_warm_on_second_call() {
+        let dir = tmp_dir("warm");
+        let cache = DatasetCache::new(&dir);
+        let cfg = SynthConfig::small();
+        let cold = cache.load_or_generate(&cfg);
+        assert!(cache
+            .store()
+            .path_for(DATASET_KIND, dataset_key(&cfg))
+            .exists());
+        let warm = cache.load_or_generate(&cfg);
+        assert_datasets_bit_equal(&cold, &warm);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshot_regenerates_identically() {
+        let dir = tmp_dir("corrupt");
+        let cache = DatasetCache::new(&dir);
+        let cfg = SynthConfig::small();
+        let cold = cache.load_or_generate(&cfg);
+        let path = cache.store().path_for(DATASET_KIND, dataset_key(&cfg));
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let regen = cache.load_or_generate(&cfg);
+        assert_datasets_bit_equal(&cold, &regen);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn different_configs_have_different_keys() {
+        let small = SynthConfig::small();
+        let paper = SynthConfig::paper();
+        assert_ne!(dataset_key(&small), dataset_key(&paper));
+        let mut reseeded = SynthConfig::small();
+        reseeded.seed = 8;
+        assert_ne!(dataset_key(&small), dataset_key(&reseeded));
+        let mut recounted = SynthConfig::small();
+        recounted.n_counties += 1;
+        assert_ne!(dataset_key(&small), dataset_key(&recounted));
+    }
+
+    #[test]
+    fn sweep_round_trips_and_caches() {
+        let dir = tmp_dir("sweep");
+        let cache = DatasetCache::new(&dir);
+        let cfg = SynthConfig::small();
+        let model = PaperModel::new(cache.load_or_generate(&cfg));
+        let cold = cache.sweep(&cfg, &model);
+        let warm = cache.sweep(&cfg, &model);
+        assert_eq!(cold.beamspreads, warm.beamspreads);
+        assert_eq!(cold.oversubs, warm.oversubs);
+        for (ra, rb) in cold.fraction.iter().zip(warm.fraction.iter()) {
+            for (a, b) in ra.iter().zip(rb.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_payload_round_trips() {
+        let s = CoverageSweep {
+            beamspreads: vec![1, 2, 3],
+            oversubs: vec![10, 20],
+            fraction: vec![vec![0.1, 0.2], vec![0.3, 0.4], vec![0.5, 1.0]],
+        };
+        let decoded = decode_sweep(&encode_sweep(&s)).expect("decode");
+        assert_eq!(decoded.beamspreads, s.beamspreads);
+        assert_eq!(decoded.oversubs, s.oversubs);
+        for (ra, rb) in decoded.fraction.iter().zip(s.fraction.iter()) {
+            for (a, b) in ra.iter().zip(rb.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the snapshot codec and container.
+//!
+//! The contract under test: any payload round-trips bit-exactly, and
+//! *no* corruption of a stored container — truncation, a flipped byte,
+//! a bumped schema version, a wrong key — ever decodes. Rejection is a
+//! typed error the store converts into regeneration; nothing here may
+//! panic.
+
+use leo_cache::{
+    decode_container, encode_container, fnv1a64, ContainerError, Decoder, Encoder, SCHEMA_VERSION,
+};
+use proptest::prelude::*;
+
+/// Arbitrary bytes (the vendored proptest has no `any::<u8>()`).
+fn bytes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..=255, 0..max_len)
+}
+
+/// Arbitrary `f64` bit patterns, NaNs and infinities included.
+fn float_bits() -> impl Strategy<Value = f64> {
+    (0u64..=u64::MAX).prop_map(f64::from_bits)
+}
+
+proptest! {
+    #[test]
+    fn scalars_round_trip_bit_exactly(
+        raw in bytes(64),
+        ints in proptest::collection::vec(0u64..=u64::MAX, 0..16),
+        floats in proptest::collection::vec(float_bits(), 0..16),
+    ) {
+        let mut e = Encoder::new();
+        e.put_len(raw.len());
+        e.put_bytes(&raw);
+        e.put_len(ints.len());
+        for &v in &ints {
+            e.put_u64(v);
+        }
+        e.put_len(floats.len());
+        for &v in &floats {
+            e.put_f64(v);
+        }
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        let n = d.take_len(1).unwrap();
+        prop_assert_eq!(d.take_bytes(n).unwrap(), &raw[..]);
+        let n = d.take_len(8).unwrap();
+        prop_assert_eq!(n, ints.len());
+        for &v in &ints {
+            prop_assert_eq!(d.take_u64().unwrap(), v);
+        }
+        let n = d.take_len(8).unwrap();
+        prop_assert_eq!(n, floats.len());
+        for &v in &floats {
+            // Bits, not values: NaN payloads and -0.0 must survive.
+            prop_assert_eq!(d.take_f64().unwrap().to_bits(), v.to_bits());
+        }
+        d.expect_empty().unwrap();
+    }
+
+    #[test]
+    fn container_round_trips_any_payload(
+        payload in bytes(256),
+        key in 0u64..=u64::MAX,
+    ) {
+        let encoded = encode_container(SCHEMA_VERSION, key, &payload);
+        let decoded = decode_container(SCHEMA_VERSION, key, &encoded).unwrap();
+        prop_assert_eq!(decoded, &payload[..]);
+    }
+
+    #[test]
+    fn truncated_containers_never_decode(
+        payload in bytes(128),
+        key in 0u64..=u64::MAX,
+        cut in 0u16..=u16::MAX,
+    ) {
+        let encoded = encode_container(SCHEMA_VERSION, key, &payload);
+        let keep = (cut as usize) % encoded.len();
+        prop_assert!(decode_container(SCHEMA_VERSION, key, &encoded[..keep]).is_err());
+    }
+
+    #[test]
+    fn flipped_bytes_never_decode(
+        payload in bytes(128),
+        key in 0u64..=u64::MAX,
+        pos in 0u16..=u16::MAX,
+        flip in 1u8..=255,
+    ) {
+        let mut encoded = encode_container(SCHEMA_VERSION, key, &payload);
+        let i = (pos as usize) % encoded.len();
+        encoded[i] ^= flip;
+        // Every single-byte corruption is caught: header fields by
+        // their own checks, payload bytes by the trailing checksum.
+        prop_assert!(decode_container(SCHEMA_VERSION, key, &encoded).is_err());
+    }
+
+    #[test]
+    fn bumped_schema_is_a_schema_mismatch(
+        payload in bytes(64),
+        key in 0u64..=u64::MAX,
+        bump in 1u32..=u32::MAX,
+    ) {
+        let written = SCHEMA_VERSION.wrapping_add(bump);
+        let encoded = encode_container(written, key, &payload);
+        match decode_container(SCHEMA_VERSION, key, &encoded) {
+            Err(ContainerError::SchemaMismatch { found, expected }) => {
+                prop_assert_eq!(found, written);
+                prop_assert_eq!(expected, SCHEMA_VERSION);
+            }
+            other => prop_assert!(false, "expected schema mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_key_is_a_key_mismatch(
+        payload in bytes(64),
+        key in 0u64..=u64::MAX,
+        bit in 0u32..64,
+    ) {
+        // Flip one key bit so the two keys always differ.
+        let other_key = key ^ (1u64 << bit);
+        let encoded = encode_container(SCHEMA_VERSION, key, &payload);
+        match decode_container(SCHEMA_VERSION, other_key, &encoded) {
+            Err(ContainerError::KeyMismatch { found, expected }) => {
+                prop_assert_eq!(found, key);
+                prop_assert_eq!(expected, other_key);
+            }
+            other => prop_assert!(false, "expected key mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hasher_streaming_matches_one_shot(
+        a in bytes(64),
+        b in bytes(64),
+    ) {
+        // Hashing two chunks equals hashing their concatenation.
+        let mut joined = a.clone();
+        joined.extend_from_slice(&b);
+        let mut h = leo_cache::KeyHasher::new();
+        h.write_bytes(&a);
+        h.write_bytes(&b);
+        prop_assert_eq!(h.finish(), fnv1a64(&joined));
+    }
+}

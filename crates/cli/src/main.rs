@@ -1,8 +1,13 @@
-//! `divide` — regenerates every table and figure of the paper.
+//! `divide` — renders every table and figure of the paper. The
+//! synthetic dataset is generated once and snapshotted to a
+//! content-addressed cache (see `leo-cache`); later runs with the same
+//! configuration load the snapshot instead of regenerating, with
+//! byte-identical artifacts either way.
 //!
 //! ```text
 //! divide [--scale small|paper] [--out DIR] [--threads N]
-//!        [--quiet|-v] [--metrics-out FILE] <command>
+//!        [--cache DIR|--no-cache] [--quiet|-v] [--metrics-out FILE]
+//!        <command>
 //!
 //! commands:
 //!   table1          single-satellite capacity model
@@ -31,6 +36,7 @@
 //! through the leveled `leo-obs` logger (`DIVIDE_LOG`, `--quiet`,
 //! `-v`); none of the instrumentation ever changes artifact bytes.
 
+use leo_cache::DatasetCache;
 use leo_demand::{BroadbandDataset, SynthConfig};
 use leo_obs::manifest::{self, RunInfo};
 use leo_report::{CsvWriter, Heatmap, LineChart, PointMap, Series, TextTable};
@@ -52,6 +58,10 @@ options:
   --threads N          worker threads (default: $DIVIDE_THREADS, else
                        available parallelism); output is identical for
                        every N
+  --cache DIR          dataset snapshot cache directory (default:
+                       $DIVIDE_CACHE, else <out>/.divide-cache);
+                       artifacts are byte-identical warm or cold
+  --no-cache           always regenerate; read and write no snapshots
   --metrics-out FILE   write a flat JSON bench record of the run
   --quiet, -q          only warnings and errors on stderr
   -v, --verbose        debug-level progress on stderr
@@ -60,6 +70,7 @@ options:
 environment:
   DIVIDE_LOG           stderr threshold: error|warn|info|debug
   DIVIDE_OBS           off|0|false disables spans/metrics collection
+  DIVIDE_CACHE         snapshot cache directory; 'off' disables caching
 
 commands:
   table1          single-satellite capacity model
@@ -99,6 +110,8 @@ fn main() {
     let mut scale = "paper".to_string();
     let mut out = PathBuf::from("results");
     let mut threads: Option<usize> = None;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut no_cache = false;
     let mut metrics_out: Option<PathBuf> = None;
     let mut command = None;
     let mut args = std::env::args().skip(1);
@@ -121,6 +134,13 @@ fn main() {
                     _ => usage("--threads expects a positive integer"),
                 }
             }
+            "--cache" => {
+                cache_dir = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| usage("--cache needs a value")),
+                ))
+            }
+            "--no-cache" => no_cache = true,
             "--metrics-out" => {
                 metrics_out = Some(PathBuf::from(
                     args.next()
@@ -173,16 +193,40 @@ fn main() {
         std::process::exit(1);
     }
 
+    // Snapshot cache resolution: --no-cache wins, then --cache, then
+    // $DIVIDE_CACHE ("off" disables), then <out>/.divide-cache.
+    let cache = if no_cache {
+        None
+    } else if let Some(dir) = cache_dir {
+        Some(DatasetCache::new(dir))
+    } else {
+        match std::env::var("DIVIDE_CACHE") {
+            Ok(v) if v.eq_ignore_ascii_case("off") => None,
+            Ok(v) if !v.is_empty() => Some(DatasetCache::new(PathBuf::from(v))),
+            _ => Some(DatasetCache::new(out.join(".divide-cache"))),
+        }
+    };
+
     let cfg = if scale == "paper" {
         SynthConfig::paper()
     } else {
         SynthConfig::small()
     };
     let seed = cfg.seed;
-    leo_obs::log_info!("generating {scale}-scale dataset...");
+    match &cache {
+        Some(c) => leo_obs::log_info!(
+            "preparing {scale}-scale dataset (cache at {})...",
+            c.store().dir().display()
+        ),
+        None => leo_obs::log_info!("generating {scale}-scale dataset (cache disabled)..."),
+    }
     let model = {
         let _stage = leo_obs::span!("stage.dataset");
-        PaperModel::new(BroadbandDataset::generate(&cfg))
+        let ds = match &cache {
+            Some(c) => c.load_or_generate(&cfg),
+            None => BroadbandDataset::generate(&cfg),
+        };
+        PaperModel::new(ds)
     };
     leo_obs::log_info!(
         "dataset: {} locations in {} demand cells ({} US cells)",
@@ -195,7 +239,7 @@ fn main() {
         "table1" => stage("table1", || table1(&model)),
         "table2" => stage("table2", || table2(&model, &out)),
         "fig1" => stage("fig1", || fig1(&model, &out)),
-        "fig2" => stage("fig2", || fig2(&model, &out)),
+        "fig2" => stage("fig2", || fig2(&model, &out, cache.as_ref(), &cfg)),
         "fig3" => stage("fig3", || fig3(&model, &out)),
         "fig4" => stage("fig4", || fig4(&model, &out)),
         "findings" => stage("findings", || findings_cmd(&model)),
@@ -212,7 +256,7 @@ fn main() {
             stage("table1", || table1(&model));
             stage("table2", || table2(&model, &out));
             stage("fig1", || fig1(&model, &out));
-            stage("fig2", || fig2(&model, &out));
+            stage("fig2", || fig2(&model, &out, cache.as_ref(), &cfg));
             stage("fig3", || fig3(&model, &out));
             stage("fig4", || fig4(&model, &out));
             stage("findings", || findings_cmd(&model));
@@ -741,8 +785,13 @@ fn fig1(model: &PaperModel, out: &Path) {
     write(out, "fig1_map.svg", &map.render(900.0, 560.0));
 }
 
-fn fig2(model: &PaperModel, out: &Path) {
-    let s = coverage_sweep::sweep(model);
+fn fig2(model: &PaperModel, out: &Path, cache: Option<&DatasetCache>, cfg: &SynthConfig) {
+    // The sweep rows are derived purely from the dataset + capacity
+    // model, so they snapshot under a key chained off the dataset's.
+    let s = match cache {
+        Some(c) => c.sweep(cfg, model),
+        None => coverage_sweep::sweep(model),
+    };
     let mut csv = CsvWriter::new();
     csv.record(&["beamspread", "oversubscription", "fraction_served"]);
     for (bi, &b) in s.beamspreads.iter().enumerate() {

@@ -40,10 +40,18 @@ pub fn fraction_served(
     served as f64 / sorted_counts.len() as f64
 }
 
-/// Runs the Fig 2 sweep over the paper's axes (beamspread 1–15,
-/// oversubscription 1–30).
+/// The paper's Fig 2 axes: beamspread 1–15, oversubscription 1–30.
+/// The single source of truth — [`sweep`] runs over exactly these, and
+/// snapshot caches key on them so a change here invalidates cached
+/// sweep rows.
+pub fn default_axes() -> (Vec<u32>, Vec<u32>) {
+    ((1..=15).collect(), (1..=30).collect())
+}
+
+/// Runs the Fig 2 sweep over the paper's axes ([`default_axes`]).
 pub fn sweep(model: &PaperModel) -> CoverageSweep {
-    sweep_over(model, (1..=15).collect(), (1..=30).collect())
+    let (beamspreads, oversubs) = default_axes();
+    sweep_over(model, beamspreads, oversubs)
 }
 
 /// Runs the sweep over explicit axes. Rows (beamspreads) are evaluated

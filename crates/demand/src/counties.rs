@@ -10,7 +10,10 @@
 //! poor, as in the Census data the paper uses.
 
 use crate::geography;
-use leo_geomath::{GeoPolygon, GridIndex, LatLng};
+use leo_geomath::{
+    dot_for_radius_km, pre_distance_km, GeoPolygon, LatLng, PrePoint, UnitPoint, Vec3,
+    DOT_RERANK_MARGIN,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -52,21 +55,128 @@ pub fn generate_seats(seed: u64, n: usize, poly: &GeoPolygon) -> Vec<LatLng> {
     out
 }
 
+/// Tile size of the seat bucket grid, degrees.
+const SEAT_TILE_DEG: f64 = 1.0;
+/// Conservative km-per-degree used for window padding (slightly below
+/// the true ~111.195, so pads are generous — same constant the old
+/// `GridIndex` used).
+const KM_PER_DEG: f64 = 111.19;
+/// The expanding search rings, km.
+const SEAT_RINGS: [f64; 7] = [80.0, 160.0, 320.0, 640.0, 1280.0, 2560.0, 5120.0];
+
 /// Nearest-seat lookup structure (the Voronoi assignment).
+///
+/// Seats are fixed at construction, so the index precomputes each
+/// seat's geocentric unit vector and hoisted haversine trigonometry
+/// and stores seat ids in a flat lat/lng bucket grid. A query walks
+/// the grid window in expanding rings, *selects* by dot product (five
+/// flops per candidate, no trig), then re-ranks the near-best
+/// candidates with the exact haversine so the returned id matches the
+/// one the full trig scan would have picked.
 #[derive(Debug)]
 pub struct SeatIndex {
-    index: GridIndex,
     seats: Vec<LatLng>,
+    units: Vec<Vec3>,
+    pres: Vec<PrePoint>,
+    lat_min: f64,
+    lng_min: f64,
+    nlat: usize,
+    nlng: usize,
+    /// Seat ids per tile, row-major `ti * nlng + tj`.
+    buckets: Vec<Vec<u32>>,
 }
 
 impl SeatIndex {
     /// Builds the lookup over `seats`.
     pub fn new(seats: Vec<LatLng>) -> Self {
-        let mut index = GridIndex::new(1.0);
-        for (i, s) in seats.iter().enumerate() {
-            index.insert(*s, i);
+        let units: Vec<Vec3> = seats.iter().map(LatLng::to_unit_vec).collect();
+        let pres: Vec<PrePoint> = seats.iter().map(PrePoint::new).collect();
+        let mut lat_lo = f64::INFINITY;
+        let mut lat_hi = f64::NEG_INFINITY;
+        let mut lng_lo = f64::INFINITY;
+        let mut lng_hi = f64::NEG_INFINITY;
+        for s in &seats {
+            lat_lo = lat_lo.min(s.lat_deg());
+            lat_hi = lat_hi.max(s.lat_deg());
+            lng_lo = lng_lo.min(s.lng_deg());
+            lng_hi = lng_hi.max(s.lng_deg());
         }
-        SeatIndex { index, seats }
+        if seats.is_empty() {
+            lat_lo = 0.0;
+            lat_hi = 0.0;
+            lng_lo = 0.0;
+            lng_hi = 0.0;
+        }
+        let lat_min = lat_lo.floor();
+        let lng_min = lng_lo.floor();
+        let nlat = (((lat_hi - lat_min) / SEAT_TILE_DEG) as usize) + 1;
+        let nlng = (((lng_hi - lng_min) / SEAT_TILE_DEG) as usize) + 1;
+        let mut buckets = vec![Vec::new(); nlat * nlng];
+        for (i, s) in seats.iter().enumerate() {
+            let ti = (((s.lat_deg() - lat_min) / SEAT_TILE_DEG) as usize).min(nlat - 1);
+            let tj = (((s.lng_deg() - lng_min) / SEAT_TILE_DEG) as usize).min(nlng - 1);
+            buckets[ti * nlng + tj].push(i as u32);
+        }
+        SeatIndex {
+            seats,
+            units,
+            pres,
+            lat_min,
+            lng_min,
+            nlat,
+            nlng,
+            buckets,
+        }
+    }
+
+    /// Visits every seat id whose tile intersects the window of
+    /// `radius_km` around `p` (conservatively padded, like the old
+    /// `GridIndex::for_each_within`).
+    fn for_each_in_window(&self, p: &LatLng, radius_km: f64, f: &mut impl FnMut(u32)) {
+        let lat_pad = radius_km / KM_PER_DEG;
+        let cos_lat = p.lat_rad().cos().max(0.05);
+        let lng_pad = radius_km / (KM_PER_DEG * cos_lat);
+        let clamp_ti = |v: f64, n: usize| (v.floor() as i64).clamp(0, n as i64 - 1) as usize;
+        let ti_lo = clamp_ti(
+            (p.lat_deg() - lat_pad - self.lat_min) / SEAT_TILE_DEG,
+            self.nlat,
+        );
+        let ti_hi = clamp_ti(
+            (p.lat_deg() + lat_pad - self.lat_min) / SEAT_TILE_DEG,
+            self.nlat,
+        );
+        let tj_lo = clamp_ti(
+            (p.lng_deg() - lng_pad - self.lng_min) / SEAT_TILE_DEG,
+            self.nlng,
+        );
+        let tj_hi = clamp_ti(
+            (p.lng_deg() + lng_pad - self.lng_min) / SEAT_TILE_DEG,
+            self.nlng,
+        );
+        for ti in ti_lo..=ti_hi {
+            for tj in tj_lo..=tj_hi {
+                for &id in &self.buckets[ti * self.nlng + tj] {
+                    f(id);
+                }
+            }
+        }
+    }
+
+    /// Exact-haversine re-rank of the candidates whose dot product came
+    /// within [`DOT_RERANK_MARGIN`] of the best: returns the id the
+    /// full haversine scan would have returned (strict `<`, scan
+    /// order), at the cost of a handful of trig evaluations.
+    fn rerank(&self, q: &PrePoint, best_dot: f64, near: &[(f64, u32)]) -> u32 {
+        let mut best: Option<(f64, u32)> = None;
+        for &(dot, id) in near {
+            if dot > best_dot - DOT_RERANK_MARGIN {
+                let d = pre_distance_km(q, &self.pres[id as usize]);
+                if best.is_none_or(|(bd, _)| d < bd) {
+                    best = Some((d, id));
+                }
+            }
+        }
+        best.map_or(0, |(_, id)| id)
     }
 
     /// The id of the seat nearest to `p`.
@@ -74,28 +184,37 @@ impl SeatIndex {
     /// Expanding-radius search: with ~3,100 seats over CONUS the mean
     /// seat spacing is ~50 km, so the first ring nearly always hits.
     pub fn nearest(&self, p: &LatLng) -> u32 {
-        let mut best: Option<(f64, usize)> = None;
-        for radius in [80.0, 160.0, 320.0, 640.0, 1280.0, 2560.0, 5120.0] {
-            self.index.for_each_within(p, radius, |seat, id| {
-                let d = leo_geomath::great_circle_distance_km(p, seat);
-                if best.is_none() || d < best.unwrap().0 {
+        let q = UnitPoint::new(p);
+        let qu = q.unit();
+        // Best-so-far by dot (max = nearest), plus every candidate that
+        // came within the re-rank margin of the best *at scan time* —
+        // a superset of those within the margin of the final best.
+        let mut best: Option<(f64, u32)> = None;
+        let mut near: Vec<(f64, u32)> = Vec::new();
+        for radius in SEAT_RINGS {
+            self.for_each_in_window(p, radius, &mut |id| {
+                let d = qu.dot(self.units[id as usize]);
+                if best.is_none_or(|(bd, _)| d > bd - DOT_RERANK_MARGIN) {
+                    near.push((d, id));
+                }
+                if best.is_none_or(|(bd, _)| d > bd) {
                     best = Some((d, id));
                 }
             });
             // A hit is only conclusive if it's closer than the scanned
             // radius (a nearer seat could lie just outside otherwise).
-            if let Some((d, id)) = best {
-                if d <= radius {
-                    return id as u32;
+            if let Some((bd, _)) = best {
+                if bd >= dot_for_radius_km(radius) {
+                    return self.rerank(q.pre(), bd, &near);
                 }
             }
         }
         // Fall back to brute force (unreachable for CONUS-scale data).
         let (_, id) = self
-            .seats
+            .pres
             .iter()
             .enumerate()
-            .map(|(i, s)| (leo_geomath::great_circle_distance_km(p, s), i))
+            .map(|(i, s)| (pre_distance_km(q.pre(), s), i))
             .fold(
                 (f64::INFINITY, 0),
                 |acc, x| if x.0 < acc.0 { x } else { acc },
@@ -157,6 +276,19 @@ mod tests {
         }
     }
 
+    fn brute_nearest(seats: &[LatLng], p: &LatLng) -> u32 {
+        seats
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                let da = leo_geomath::great_circle_distance_km(p, a.1);
+                let db = leo_geomath::great_circle_distance_km(p, b.1);
+                da.partial_cmp(&db).unwrap()
+            })
+            .unwrap()
+            .0 as u32
+    }
+
     #[test]
     fn nearest_matches_brute_force() {
         let poly = conus_polygon();
@@ -164,18 +296,44 @@ mod tests {
         let idx = SeatIndex::new(seats.clone());
         for &(lat, lng) in &[(39.5, -98.3), (45.0, -69.0), (31.0, -84.0), (47.0, -120.0)] {
             let p = LatLng::new(lat, lng);
-            let fast = idx.nearest(&p);
-            let brute = seats
-                .iter()
-                .enumerate()
-                .min_by(|a, b| {
-                    let da = leo_geomath::great_circle_distance_km(&p, a.1);
-                    let db = leo_geomath::great_circle_distance_km(&p, b.1);
-                    da.partial_cmp(&db).unwrap()
-                })
-                .unwrap()
-                .0 as u32;
-            assert_eq!(fast, brute, "({lat},{lng})");
+            assert_eq!(idx.nearest(&p), brute_nearest(&seats, &p), "({lat},{lng})");
+        }
+    }
+
+    #[test]
+    fn nearest_matches_brute_force_on_dense_sweep() {
+        // A dense sweep over CONUS plus far-outside probes (fallback
+        // path). The dot-product selection with haversine re-rank must
+        // agree with the naive trig scan everywhere.
+        let poly = conus_polygon();
+        let seats = generate_seats(41, 700, &poly);
+        let idx = SeatIndex::new(seats.clone());
+        let mut lat = 24.0;
+        while lat < 50.0 {
+            let mut lng = -126.0;
+            while lng < -65.0 {
+                let p = LatLng::new(lat, lng);
+                assert_eq!(idx.nearest(&p), brute_nearest(&seats, &p), "({lat},{lng})");
+                lng += 2.3;
+            }
+            lat += 1.7;
+        }
+        for &(lat, lng) in &[(70.0, -150.0), (-10.0, -98.0), (39.0, 20.0)] {
+            let p = LatLng::new(lat, lng);
+            assert_eq!(idx.nearest(&p), brute_nearest(&seats, &p), "({lat},{lng})");
+        }
+    }
+
+    #[test]
+    fn nearest_of_a_seat_is_itself() {
+        // Querying exactly at a seat exercises the re-rank margin (dot
+        // ≈ 1.0 admits km-scale neighbors; the exact haversine must
+        // still pick the zero-distance seat).
+        let poly = conus_polygon();
+        let seats = generate_seats(5, 400, &poly);
+        let idx = SeatIndex::new(seats.clone());
+        for (i, s) in seats.iter().enumerate() {
+            assert_eq!(idx.nearest(s), i as u32, "seat {i}");
         }
     }
 

@@ -314,6 +314,17 @@ impl BroadbandDataset {
         })
     }
 
+    /// Seeds the sorted-counts cache with an already-sorted vector
+    /// (snapshot decode paths, which persist the sorted view so a warm
+    /// run skips even the 20k-element sort). No-op if the cache is
+    /// already built. The vector must be exactly what `sorted_counts`
+    /// would compute — ascending, one entry per demand cell.
+    pub fn prime_sorted_counts(&self, sorted: Vec<u64>) {
+        debug_assert_eq!(sorted.len(), self.cells.len());
+        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        self.sorted.get_or_init(|| sorted);
+    }
+
     /// The cell with the most un(der)served locations.
     pub fn peak_cell(&self) -> &CellDemand {
         self.cells

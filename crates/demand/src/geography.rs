@@ -7,7 +7,8 @@
 //! cells in the paper's data are in the CONUS mid-latitudes, and the
 //! constellation-sizing model only consumes the peak cell's latitude).
 
-use leo_geomath::{GeoPolygon, LatLng};
+use leo_geomath::{pre_distance_km, GeoPolygon, LatLng, PrePoint, UnitPoint};
+use std::sync::OnceLock;
 
 /// Vertices of the contiguous-US boundary (lat, lng), counterclockwise
 /// from the northwest corner.
@@ -106,12 +107,119 @@ pub const METRO_CENTERS: &[(f64, f64)] = &[
     (40.76, -111.89), // Salt Lake City
 ];
 
+/// Coarse bucket grid over the CONUS neighborhood for
+/// [`distance_to_nearest_metro_km`]. Metro anchors are fixed, so each
+/// tile precomputes (a) the anchors' hoisted trigonometry and unit
+/// vectors ([`UnitPoint`]) and (b) a candidate subset guaranteed to
+/// contain the nearest metro of *every* point in the tile. A query then
+/// evaluates a handful of hoisted haversines instead of 32 full ones.
+struct MetroIndex {
+    metros: Vec<UnitPoint>,
+    /// Per tile (row-major `ti * METRO_NLNG + tj`), the metro indices
+    /// that can be nearest for some point in the tile.
+    candidates: Vec<Vec<u16>>,
+}
+
+const METRO_TILE_DEG: f64 = 2.0;
+const METRO_LAT_MIN: f64 = 20.0;
+const METRO_LAT_MAX: f64 = 56.0;
+const METRO_LNG_MIN: f64 = -130.0;
+const METRO_LNG_MAX: f64 = -60.0;
+const METRO_NLAT: usize = 18;
+const METRO_NLNG: usize = 35;
+
+impl MetroIndex {
+    fn build() -> MetroIndex {
+        let metros: Vec<UnitPoint> = METRO_CENTERS
+            .iter()
+            .map(|&(lat, lng)| UnitPoint::new(&LatLng::new(lat, lng)))
+            .collect();
+        let mut candidates = Vec::with_capacity(METRO_NLAT * METRO_NLNG);
+        for ti in 0..METRO_NLAT {
+            for tj in 0..METRO_NLNG {
+                let lat_lo = METRO_LAT_MIN + ti as f64 * METRO_TILE_DEG;
+                let lng_lo = METRO_LNG_MIN + tj as f64 * METRO_TILE_DEG;
+                let center =
+                    LatLng::new(lat_lo + METRO_TILE_DEG / 2.0, lng_lo + METRO_TILE_DEG / 2.0);
+                // Circumradius of the tile: center to farthest corner.
+                let radius_km = [
+                    (lat_lo, lng_lo),
+                    (lat_lo, lng_lo + METRO_TILE_DEG),
+                    (lat_lo + METRO_TILE_DEG, lng_lo),
+                    (lat_lo + METRO_TILE_DEG, lng_lo + METRO_TILE_DEG),
+                ]
+                .into_iter()
+                .map(|(lat, lng)| {
+                    leo_geomath::great_circle_distance_km(&center, &LatLng::new(lat, lng))
+                })
+                .fold(0.0, f64::max);
+                let cq = PrePoint::new(&center);
+                let dists: Vec<f64> = metros
+                    .iter()
+                    .map(|m| pre_distance_km(&cq, m.pre()))
+                    .collect();
+                let nearest = dists.iter().copied().fold(f64::INFINITY, f64::min);
+                // For any p in the tile and its true nearest metro m*:
+                //   d(center, m*) ≤ d(center, p) + d(p, m*)
+                //                 ≤ r + d(p, m_nearest(center))
+                //                 ≤ r + r + d(center, m_nearest(center)),
+                // so every possible argmin lies within `nearest + 2r` of
+                // the tile center; +1 km absorbs haversine rounding.
+                // The candidate set therefore always contains the full
+                // scan's FP argmin, making the min over candidates equal
+                // (bit-for-bit) to the min over all metros.
+                let cutoff = nearest + 2.0 * radius_km + 1.0;
+                let tile: Vec<u16> = dists
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &d)| d <= cutoff)
+                    .map(|(i, _)| i as u16)
+                    .collect();
+                candidates.push(tile);
+            }
+        }
+        MetroIndex { metros, candidates }
+    }
+
+    /// The candidate subset for `p`, or `None` when `p` falls outside
+    /// the gridded neighborhood (callers fall back to the full scan).
+    fn tile_candidates(&self, p: &LatLng) -> Option<&[u16]> {
+        let (lat, lng) = (p.lat_deg(), p.lng_deg());
+        if !(METRO_LAT_MIN..METRO_LAT_MAX).contains(&lat)
+            || !(METRO_LNG_MIN..METRO_LNG_MAX).contains(&lng)
+        {
+            return None;
+        }
+        let ti = (((lat - METRO_LAT_MIN) / METRO_TILE_DEG) as usize).min(METRO_NLAT - 1);
+        let tj = (((lng - METRO_LNG_MIN) / METRO_TILE_DEG) as usize).min(METRO_NLNG - 1);
+        Some(&self.candidates[ti * METRO_NLNG + tj])
+    }
+}
+
+fn metro_index() -> &'static MetroIndex {
+    static INDEX: OnceLock<MetroIndex> = OnceLock::new();
+    INDEX.get_or_init(MetroIndex::build)
+}
+
 /// Distance (km) from a point to the nearest metro anchor.
+///
+/// Bit-identical to the full linear scan it replaces (the bucket grid
+/// only prunes metros that provably cannot be the argmin; the surviving
+/// distances are produced by the same floating-point operations).
 pub fn distance_to_nearest_metro_km(p: &LatLng) -> f64 {
-    METRO_CENTERS
-        .iter()
-        .map(|&(lat, lng)| leo_geomath::great_circle_distance_km(p, &LatLng::new(lat, lng)))
-        .fold(f64::INFINITY, f64::min)
+    let idx = metro_index();
+    let q = PrePoint::new(p);
+    match idx.tile_candidates(p) {
+        Some(tile) => tile
+            .iter()
+            .map(|&i| pre_distance_km(&q, idx.metros[i as usize].pre()))
+            .fold(f64::INFINITY, f64::min),
+        None => idx
+            .metros
+            .iter()
+            .map(|m| pre_distance_km(&q, m.pre()))
+            .fold(f64::INFINITY, f64::min),
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +272,59 @@ mod tests {
         let poly = conus_polygon();
         for &(lat, lng) in METRO_CENTERS {
             assert!(poly.contains(&LatLng::new(lat, lng)), "metro ({lat},{lng})");
+        }
+    }
+
+    #[test]
+    fn indexed_metro_distance_is_bit_identical_to_full_scan() {
+        // Dense sweep over the gridded neighborhood plus out-of-bounds
+        // points (which take the fallback path). The bucket grid must
+        // reproduce the naive scan's result to the last bit — the
+        // remoteness rankings and goldens depend on it.
+        let mut lat = 18.5;
+        while lat < 58.0 {
+            let mut lng = -132.5;
+            while lng < -57.0 {
+                let p = LatLng::new(lat, lng);
+                let brute = METRO_CENTERS
+                    .iter()
+                    .map(|&(mlat, mlng)| {
+                        leo_geomath::great_circle_distance_km(&p, &LatLng::new(mlat, mlng))
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                assert_eq!(
+                    distance_to_nearest_metro_km(&p).to_bits(),
+                    brute.to_bits(),
+                    "mismatch at ({lat},{lng})"
+                );
+                lng += 0.73;
+            }
+            lat += 0.61;
+        }
+    }
+
+    #[test]
+    fn tile_edges_and_metro_coincident_points_agree_with_full_scan() {
+        // Exact tile boundaries and points sitting on a metro anchor.
+        let mut probes: Vec<LatLng> = vec![
+            LatLng::new(20.0, -130.0),
+            LatLng::new(55.999, -60.001),
+            LatLng::new(40.0, -98.0),
+            LatLng::new(38.0, -100.0),
+        ];
+        probes.extend(
+            METRO_CENTERS
+                .iter()
+                .map(|&(lat, lng)| LatLng::new(lat, lng)),
+        );
+        for p in probes {
+            let brute = METRO_CENTERS
+                .iter()
+                .map(|&(mlat, mlng)| {
+                    leo_geomath::great_circle_distance_km(&p, &LatLng::new(mlat, mlng))
+                })
+                .fold(f64::INFINITY, f64::min);
+            assert_eq!(distance_to_nearest_metro_km(&p).to_bits(), brute.to_bits());
         }
     }
 

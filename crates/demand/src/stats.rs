@@ -35,6 +35,12 @@ impl QuantileCurve {
         QuantileCurve { anchors }
     }
 
+    /// The `(u, value)` anchor points the curve interpolates. Exposed
+    /// so cache keys can hash the complete calibration structurally.
+    pub fn anchors(&self) -> &[(f64, f64)] {
+        &self.anchors
+    }
+
     /// Evaluates `Q(u)`; `u` is clamped to `[0, 1]`.
     pub fn value(&self, u: f64) -> f64 {
         let u = u.clamp(0.0, 1.0);

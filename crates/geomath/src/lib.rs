@@ -43,6 +43,7 @@ pub mod angle;
 pub mod bbox;
 pub mod constants;
 pub mod ellipsoid;
+pub mod fastpoint;
 pub mod gridindex;
 pub mod latlng;
 pub mod polygon;
@@ -54,6 +55,10 @@ pub use angle::{normalize_lat_deg, normalize_lng_deg, Deg, Rad};
 pub use bbox::GeoBBox;
 pub use constants::{EARTH_RADIUS_KM, EARTH_SURFACE_AREA_KM2};
 pub use ellipsoid::vincenty_distance_km;
+pub use fastpoint::{
+    dot_for_radius_km, pre_central_angle_rad, pre_distance_km, PrePoint, UnitPoint,
+    DOT_RERANK_MARGIN,
+};
 pub use gridindex::GridIndex;
 pub use latlng::LatLng;
 pub use polygon::GeoPolygon;

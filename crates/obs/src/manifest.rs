@@ -25,6 +25,7 @@ const WORKSPACE_CRATES: &[&str] = &[
     "leo-demand",
     "leo-capacity",
     "starlink-divide",
+    "leo-cache",
     "leo-simnet",
     "leo-report",
     "leo-parallel",

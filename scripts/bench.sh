@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Bench harness: paper-scale cold and warm cached runs of the full
+# pipeline (`divide --scale paper all`) at 1 and 4 worker threads,
+# each captured via --metrics-out and merged into BENCH_tier1.json at
+# the repo root. The warm runs must be pure cache hits; the JSON
+# records both wall-clocks so the snapshot cache's win is a tracked
+# number, not an anecdote.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "[bench] cargo build --release -p divide-cli"
+cargo build --release -p divide-cli
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+for threads in 1 4; do
+    cachedir="$work/cache-$threads"
+    for phase in cold warm; do
+        out="$work/$phase-$threads"
+        echo "[bench] divide --scale paper all --threads $threads ($phase)"
+        ./target/release/divide --scale paper all \
+            --out "$out" --cache "$cachedir" --threads "$threads" -q \
+            --metrics-out "$work/$phase-$threads.json" >/dev/null
+    done
+    # Warm must be byte-identical to cold — a bench that changed the
+    # artifacts would be measuring a different program.
+    diff -r --exclude run_manifest.json "$work/cold-$threads" "$work/warm-$threads" \
+        || { echo "[bench] warm artifacts differ at $threads threads" >&2; exit 1; }
+done
+
+python3 - "$work" BENCH_tier1.json <<'PY'
+import json, sys
+
+work, out_path = sys.argv[1], sys.argv[2]
+result = {"schema": "divide/bench-tier1/v1", "scale": "paper", "command": "all", "runs": {}}
+for threads in (1, 4):
+    cold = json.load(open(f"{work}/cold-{threads}.json"))
+    warm = json.load(open(f"{work}/warm-{threads}.json"))
+    wc = warm["counters"]
+    assert wc.get("cache.hit", 0) >= 1, f"warm run at {threads} threads missed the cache: {wc}"
+    result["runs"][f"threads_{threads}"] = {
+        "cold_wall_ms": cold["wall_ms"],
+        "warm_wall_ms": warm["wall_ms"],
+        "cold_dataset_stage_ms": cold["stages"].get("dataset"),
+        "warm_dataset_stage_ms": warm["stages"].get("dataset"),
+        "warm_speedup": cold["wall_ms"] / warm["wall_ms"],
+        "cache_bytes_written": cold["counters"].get("cache.bytes_written", 0),
+        "cache_bytes_read": wc.get("cache.bytes_read", 0),
+    }
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+for name, run in result["runs"].items():
+    print(f"[bench] {name}: cold {run['cold_wall_ms']:.0f} ms, "
+          f"warm {run['warm_wall_ms']:.0f} ms ({run['warm_speedup']:.2f}x)")
+print(f"[bench] wrote {out_path}")
+PY

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Tier-1 verify: build the whole workspace, run every test, then smoke
-# the `divide` CLI end-to-end at small scale into a throwaway directory.
+# Tier-1 verify: lint, build the whole workspace, run every test, smoke
+# the `divide` CLI end-to-end at small scale into a throwaway directory,
+# and prove a warm cached run is byte-identical to a cold one.
 # Exits non-zero on the first failure.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+echo "[tier1] lint gate (scripts/lint.sh)"
+./scripts/lint.sh
 
 echo "[tier1] cargo build --release --workspace"
 cargo build --release --workspace
@@ -55,10 +59,58 @@ assert stage_names[0] == "dataset", stage_names
 print("[tier1] bench record and manifest validate")
 PY
 
+echo "[tier1] cold vs warm cached runs produce identical artifact trees"
+# The cache lives OUTSIDE both output trees so `diff -r` compares only
+# artifacts; run_manifest.json is excluded (it records wall-clock).
+cachedir="$(mktemp -d)"
+cold="$(mktemp -d)"
+warm="$(mktemp -d)"
+trap 'rm -rf "$out" "$cachedir" "$cold" "$warm"' EXIT
+./target/release/divide --scale small all --out "$cold" --cache "$cachedir" -q
+./target/release/divide --scale small all --out "$warm" --cache "$cachedir" -q
+diff -r --exclude run_manifest.json "$cold" "$warm" \
+    || { echo "[tier1] warm run artifacts differ from cold" >&2; exit 1; }
+python3 - "$cold/run_manifest.json" "$warm/run_manifest.json" <<'PY'
+import json, sys
+
+cold = json.load(open(sys.argv[1]))
+warm = json.load(open(sys.argv[2]))
+
+def span_names(spans, acc):
+    for s in spans:
+        acc.add(s["name"])
+        span_names(s["children"], acc)
+    return acc
+
+# The cold run generated and wrote snapshots.
+cc = cold["metrics"]["counters"]
+assert cc.get("cache.miss", 0) >= 1, cc
+assert cc.get("cache.bytes_written", 0) > 0, cc
+assert "demand.generate" in span_names(cold["spans"], set()), "cold run did not generate"
+
+# The warm run was a pure cache hit: no generation span at all.
+wc = warm["metrics"]["counters"]
+assert wc.get("cache.hit", 0) >= 1, wc
+assert wc.get("cache.bytes_read", 0) > 0, wc
+names = span_names(warm["spans"], set())
+assert "demand.generate" not in names, f"warm run regenerated: {sorted(names)}"
+assert "cache.decode" in names, sorted(names)
+print("[tier1] warm run hit the cache and skipped generation")
+PY
+
+echo "[tier1] --no-cache run matches the cached runs byte for byte"
+nocache="$(mktemp -d)"
+trap 'rm -rf "$out" "$cachedir" "$cold" "$warm" "$nocache"' EXIT
+./target/release/divide --scale small all --out "$nocache" --no-cache -q
+diff -r --exclude run_manifest.json "$cold" "$nocache" \
+    || { echo "[tier1] --no-cache artifacts differ" >&2; exit 1; }
+
 echo "[tier1] divide --help exits 0 and lists every command"
 # Capture first: `grep -q` closing the pipe early would EPIPE divide.
 help_out="$(./target/release/divide --help)"
 grep -q timeline <<<"$help_out"
 grep -q metrics-out <<<"$help_out"
+grep -q 'no-cache' <<<"$help_out"
+grep -q DIVIDE_CACHE <<<"$help_out"
 
 echo "[tier1] OK"

@@ -18,9 +18,11 @@
 //! * [`simnet`] — flow-level oversubscription QoE simulator
 //! * [`report`] — tables, CSV, and SVG figure rendering
 //! * [`obs`] — spans, metrics, run manifests, leveled logging
+//! * [`cache`] — content-addressed dataset snapshots for warm runs
 
 #![forbid(unsafe_code)]
 
+pub use leo_cache as cache;
 pub use leo_capacity as capacity;
 pub use leo_demand as demand;
 pub use leo_geomath as geomath;

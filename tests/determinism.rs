@@ -132,6 +132,65 @@ fn observability_does_not_perturb_artifact_bytes() {
     assert_eq!(on_1, on_4, "thread count leaked into artifacts");
 }
 
+/// The snapshot-cache determinism contract (DESIGN.md §9): an artifact
+/// rendered from a warm snapshot must be byte-equal to one rendered
+/// from a cold generation — at every thread count. This is the
+/// in-process twin of `scripts/tier1.sh`'s cold/warm `diff -r`.
+#[test]
+fn warm_snapshot_artifacts_are_bit_identical_to_cold() {
+    use starlink_divide_repro::cache::DatasetCache;
+
+    let dir = std::env::temp_dir().join(format!("divide_determinism_cache_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = DatasetCache::new(&dir);
+    let cfg = SynthConfig::small();
+
+    let render = |threads: usize, cached: bool| {
+        with_threads(threads, || {
+            let ds = if cached {
+                cache.load_or_generate(&cfg)
+            } else {
+                BroadbandDataset::generate(&cfg)
+            };
+            let model = PaperModel::new(ds);
+            let s = if cached {
+                cache.sweep(&cfg, &model)
+            } else {
+                coverage_sweep::sweep(&model)
+            };
+            let mut fig2 = CsvWriter::new();
+            fig2.record(&["beamspread", "oversubscription", "fraction_served"]);
+            for (bi, &b) in s.beamspreads.iter().enumerate() {
+                for (ri, &r) in s.oversubs.iter().enumerate() {
+                    fig2.record_display(&[b as f64, r as f64, s.fraction[bi][ri]]);
+                }
+            }
+            let mut fig1 = CsvWriter::new();
+            fig1.record(&["locations_per_cell", "cumulative_probability"]);
+            for &(x, p) in &demand_stats::cdf_series(&model, 400) {
+                fig1.record_display(&[x as f64, p]);
+            }
+            (fig1.finish().to_string(), fig2.finish().to_string())
+        })
+    };
+
+    let cold_1 = render(1, false);
+    let warm_1 = render(1, true); // first cached call seeds the store
+    let warm_again_1 = render(1, true); // this one decodes the snapshot
+    let warm_4 = render(4, true);
+    let cold_4 = render(4, false);
+
+    assert_eq!(cold_1, warm_1, "cache write path changed artifacts");
+    assert_eq!(
+        cold_1, warm_again_1,
+        "warm decode differs from cold at 1 thread"
+    );
+    assert_eq!(cold_4, warm_4, "warm decode differs from cold at 4 threads");
+    assert_eq!(cold_1, cold_4, "thread count leaked into artifacts");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Replays the checked-in proptest regression
 /// (`crates/demand/tests/proptests.proptest-regressions`, shrunk to
 /// `price = 295.70471053041905`) as a plain test so the historical
