@@ -207,11 +207,13 @@ impl SnapshotStore {
             Ok(b) => b,
             Err(e) if e.kind() == ErrorKind::NotFound => {
                 leo_obs::metrics::counter_add("cache.miss", 1);
+                leo_trace::instant("cache.miss");
                 return None;
             }
             Err(e) => {
                 leo_obs::log_warn!("cache: cannot read {}: {e}; regenerating", path.display());
                 leo_obs::metrics::counter_add("cache.miss", 1);
+                leo_trace::instant("cache.miss");
                 return None;
             }
         };
@@ -219,6 +221,7 @@ impl SnapshotStore {
             Ok(payload) => {
                 leo_obs::metrics::counter_add("cache.hit", 1);
                 leo_obs::metrics::counter_add("cache.bytes_read", payload.len() as u64);
+                leo_trace::instant("cache.hit");
                 Some(payload.to_vec())
             }
             Err(why) => {
@@ -228,6 +231,8 @@ impl SnapshotStore {
                 );
                 leo_obs::metrics::counter_add("cache.invalid", 1);
                 leo_obs::metrics::counter_add("cache.miss", 1);
+                leo_trace::instant("cache.invalid");
+                leo_trace::instant("cache.miss");
                 None
             }
         }

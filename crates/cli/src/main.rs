@@ -27,6 +27,7 @@
 //!   timeline        launch-cadence deployment timeline (extension)
 //!   export          dataset CSV export
 //!   all             everything above
+//!   report          diff two run manifests; exit 3 on perf regression
 //! ```
 //!
 //! Text renders to stdout; CSV and SVG artifacts land in the output
@@ -35,6 +36,8 @@
 //! span tree, metrics — see DESIGN.md §8). Progress goes to stderr
 //! through the leveled `leo-obs` logger (`DIVIDE_LOG`, `--quiet`,
 //! `-v`); none of the instrumentation ever changes artifact bytes.
+
+mod report_cmd;
 
 use leo_cache::DatasetCache;
 use leo_demand::{BroadbandDataset, SynthConfig};
@@ -63,14 +66,29 @@ options:
                        artifacts are byte-identical warm or cold
   --no-cache           always regenerate; read and write no snapshots
   --metrics-out FILE   write a flat JSON bench record of the run
+  --trace[=FILE]       record a timeline and write a Chrome trace
+                       (default <out>/trace.json, Perfetto-loadable)
+                       plus folded flamegraph stacks (trace.folded);
+                       never changes artifact bytes
+  --progress           print a one-line stage progress ticker to
+                       stderr (TTY only; DIVIDE_PROGRESS=force)
   --quiet, -q          only warnings and errors on stderr
   -v, --verbose        debug-level progress on stderr
   -h, --help           print this help and exit
+
+report options:
+  --baseline FILE      'before' manifest or bench record (required)
+  --candidate FILE     'after' manifest or bench record (required)
+  --max-regress-pct P  fail when a stage slows by more than P% (20)
+  --min-wall-ms MS     ignore stages faster than MS in both runs (5)
+  --report-csv FILE    also write the comparison table as CSV
 
 environment:
   DIVIDE_LOG           stderr threshold: error|warn|info|debug
   DIVIDE_OBS           off|0|false disables spans/metrics collection
   DIVIDE_CACHE         snapshot cache directory; 'off' disables caching
+  DIVIDE_TRACE         1 enables tracing, or a path for the trace file
+  DIVIDE_PROGRESS      'force' shows --progress without a TTY
 
 commands:
   table1          single-satellite capacity model
@@ -89,7 +107,9 @@ commands:
   cost            marginal dollars per tail location (extension)
   timeline        launch-cadence deployment timeline (extension)
   export          dataset CSV export
-  all             everything above";
+  all             everything above
+  report          diff two run manifests / bench records; exit 3 on
+                  perf regression (see report options)";
 
 /// Prints the help to stdout and exits 0 (`-h`/`--help`).
 fn help() -> ! {
@@ -113,6 +133,17 @@ fn main() {
     let mut cache_dir: Option<PathBuf> = None;
     let mut no_cache = false;
     let mut metrics_out: Option<PathBuf> = None;
+    // None = no tracing; Some(None) = trace to <out>/trace.json;
+    // Some(Some(p)) = trace to p.
+    let mut trace: Option<Option<PathBuf>> = None;
+    let mut progress = false;
+    let mut report = report_cmd::ReportOpts {
+        baseline: PathBuf::new(),
+        candidate: PathBuf::new(),
+        max_regress_pct: 20.0,
+        min_wall_ms: 5.0,
+        csv_out: None,
+    };
     let mut command = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -147,9 +178,54 @@ fn main() {
                         .unwrap_or_else(|| usage("--metrics-out needs a value")),
                 ))
             }
+            "--trace" => trace = Some(None),
+            "--progress" => progress = true,
+            "--baseline" => {
+                report.baseline = PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| usage("--baseline needs a value")),
+                )
+            }
+            "--candidate" => {
+                report.candidate = PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| usage("--candidate needs a value")),
+                )
+            }
+            "--max-regress-pct" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--max-regress-pct needs a value"));
+                match v.parse::<f64>() {
+                    Ok(p) if p.is_finite() && p >= 0.0 => report.max_regress_pct = p,
+                    _ => usage("--max-regress-pct expects a non-negative number"),
+                }
+            }
+            "--min-wall-ms" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--min-wall-ms needs a value"));
+                match v.parse::<f64>() {
+                    Ok(ms) if ms.is_finite() && ms >= 0.0 => report.min_wall_ms = ms,
+                    _ => usage("--min-wall-ms expects a non-negative number"),
+                }
+            }
+            "--report-csv" => {
+                report.csv_out = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| usage("--report-csv needs a value")),
+                ))
+            }
             "--quiet" | "-q" => leo_obs::log::set_level(leo_obs::log::Level::Warn),
             "-v" | "--verbose" => leo_obs::log::set_level(leo_obs::log::Level::Debug),
             "-h" | "--help" => help(),
+            flag if flag.starts_with("--trace=") => {
+                let path = &flag["--trace=".len()..];
+                if path.is_empty() {
+                    usage("--trace= needs a file path");
+                }
+                trace = Some(Some(PathBuf::from(path)));
+            }
             cmd if command.is_none() && !cmd.starts_with('-') => command = Some(cmd.to_string()),
             other => usage(&format!("unexpected argument {other:?}")),
         }
@@ -179,15 +255,59 @@ fn main() {
         "timeline",
         "export",
         "all",
+        "report",
     ];
     if !COMMANDS.contains(&command.as_str()) {
         usage(&format!("unknown command {command:?}"));
+    }
+    // `report` only reads two JSON records — no dataset, no output
+    // directory, no instrumentation of its own.
+    if command == "report" {
+        if report.baseline.as_os_str().is_empty() {
+            usage("report needs --baseline FILE");
+        }
+        if report.candidate.as_os_str().is_empty() {
+            usage("report needs --candidate FILE");
+        }
+        std::process::exit(report_cmd::run(&report));
+    }
+    // The --trace flag wins; otherwise $DIVIDE_TRACE enables tracing
+    // ("1"/truthy) or names the trace file directly (path-like value).
+    if trace.is_none() {
+        if let Ok(v) = std::env::var("DIVIDE_TRACE") {
+            let off = v.is_empty()
+                || v.eq_ignore_ascii_case("0")
+                || v.eq_ignore_ascii_case("off")
+                || v.eq_ignore_ascii_case("false");
+            if !off {
+                trace =
+                    if v == "1" || v.eq_ignore_ascii_case("on") || v.eq_ignore_ascii_case("true") {
+                        Some(None)
+                    } else {
+                        Some(Some(PathBuf::from(v)))
+                    };
+            }
+        }
     }
     // Explicit flag wins; otherwise leo-parallel falls back to
     // $DIVIDE_THREADS, then to available parallelism.
     leo_parallel::set_global_threads(threads);
     // The manifest must describe this invocation only.
     leo_obs::reset();
+    if trace.is_some() {
+        if leo_obs::enabled() {
+            leo_trace::set_enabled(true);
+            leo_trace::reset();
+        } else {
+            leo_obs::log_warn!("--trace ignored: observability is off (DIVIDE_OBS)");
+            trace = None;
+        }
+    }
+    if progress {
+        if let Err(why) = leo_obs::progress::try_enable() {
+            leo_obs::log_debug!("--progress disabled: {why}");
+        }
+    }
     if let Err(e) = std::fs::create_dir_all(&out) {
         leo_obs::log_error!("cannot create output directory {}: {e}", out.display());
         std::process::exit(1);
@@ -294,6 +414,22 @@ fn main() {
             Err(e) => {
                 leo_obs::log_error!("cannot write {}: {e}", path.display());
                 std::process::exit(1);
+            }
+        }
+    }
+    if let Some(dest) = trace {
+        let chrome = dest.unwrap_or_else(|| out.join("trace.json"));
+        let folded = chrome.with_extension("folded");
+        for (path, result) in [
+            (&chrome, leo_trace::export::write_chrome(&chrome)),
+            (&folded, leo_trace::export::write_folded(&folded)),
+        ] {
+            match result {
+                Ok(()) => leo_obs::log_info!("wrote {}", path.display()),
+                Err(e) => {
+                    leo_obs::log_error!("cannot write {}: {e}", path.display());
+                    std::process::exit(1);
+                }
             }
         }
     }

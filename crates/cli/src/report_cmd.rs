@@ -1,0 +1,272 @@
+//! `divide report` — the manifest-diff and perf-regression gate.
+//!
+//! Diffs two observability records — run manifests
+//! (`leo-obs/run-manifest/v1`), flat bench records (`leo-obs/bench/v1`),
+//! or the merged trajectory file (`divide/bench-tier1/v1`) — stage by
+//! stage, prints a stable comparison table (and optionally CSV), and
+//! exits non-zero when any stage slowed beyond `--max-regress-pct`.
+//! `scripts/bench.sh --gate` runs it against the previous
+//! `BENCH_tier1.json` so a perf regression fails the bench the way a
+//! broken test fails tier-1.
+//!
+//! Stages faster than `--min-wall-ms` in *both* records are compared
+//! but never gate — at sub-millisecond scale, scheduler jitter swamps
+//! any real signal.
+
+use leo_obs::json::Json;
+use leo_report::{CsvWriter, TextTable};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Exit code when at least one stage regressed beyond the threshold
+/// (distinct from 1 = IO/parse error and 2 = usage error).
+pub const EXIT_REGRESSED: i32 = 3;
+
+/// Parsed `divide report` options.
+pub struct ReportOpts {
+    /// The "before" record.
+    pub baseline: PathBuf,
+    /// The "after" record.
+    pub candidate: PathBuf,
+    /// A stage regresses when it slows by more than this percentage.
+    pub max_regress_pct: f64,
+    /// Stages below this wall-clock in both records never gate.
+    pub min_wall_ms: f64,
+    /// Optional CSV copy of the comparison table.
+    pub csv_out: Option<PathBuf>,
+}
+
+/// One record reduced to the shape the diff works on.
+struct Record {
+    /// Stage name → wall-clock ms (plus the `total` pseudo-stage).
+    stages: BTreeMap<String, f64>,
+    /// Counter name → value.
+    counters: BTreeMap<String, u64>,
+}
+
+fn load(path: &Path) -> Result<Record, String> {
+    let body = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = Json::parse(&body).map_err(|e| format!("cannot parse {}: {e}", path.display()))?;
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+    match schema {
+        "leo-obs/run-manifest/v1" => Ok(from_manifest(&doc)),
+        "leo-obs/bench/v1" => Ok(from_bench(&doc)),
+        "divide/bench-tier1/v1" => Ok(from_bench_tier1(&doc)),
+        other => Err(format!(
+            "{}: unsupported schema {other:?} (expected a run manifest or bench record)",
+            path.display()
+        )),
+    }
+}
+
+fn counters_of(obj: Option<&Json>) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    if let Some(Json::Obj(fields)) = obj {
+        for (name, value) in fields {
+            if let Some(v) = value.as_u64() {
+                out.insert(name.clone(), v);
+            }
+        }
+    }
+    out
+}
+
+fn from_manifest(doc: &Json) -> Record {
+    let mut stages = BTreeMap::new();
+    if let Some(Json::Arr(items)) = doc.get("stages") {
+        for item in items {
+            if let (Some(name), Some(ms)) = (
+                item.get("name").and_then(Json::as_str),
+                item.get("wall_ms").and_then(Json::as_f64),
+            ) {
+                stages.insert(name.to_string(), ms);
+            }
+        }
+    }
+    if let Some(ms) = doc.get("wall_ms").and_then(Json::as_f64) {
+        stages.insert("total".to_string(), ms);
+    }
+    let counters = counters_of(doc.get("metrics").and_then(|m| m.get("counters")));
+    Record { stages, counters }
+}
+
+fn from_bench(doc: &Json) -> Record {
+    let mut stages = BTreeMap::new();
+    if let Some(Json::Obj(fields)) = doc.get("stages") {
+        for (name, value) in fields {
+            if let Some(ms) = value.as_f64() {
+                stages.insert(name.clone(), ms);
+            }
+        }
+    }
+    if let Some(ms) = doc.get("wall_ms").and_then(Json::as_f64) {
+        stages.insert("total".to_string(), ms);
+    }
+    let counters = counters_of(doc.get("counters"));
+    Record { stages, counters }
+}
+
+/// Flattens `runs.threads_N.<field>` to `threads_N.<field>` rows. Only
+/// `*_ms` fields gate (ratios like `warm_speedup` and byte counters
+/// are informational, not wall-clock).
+fn from_bench_tier1(doc: &Json) -> Record {
+    let mut stages = BTreeMap::new();
+    if let Some(Json::Obj(runs)) = doc.get("runs") {
+        for (run_name, run) in runs {
+            if let Json::Obj(fields) = run {
+                for (field, value) in fields {
+                    if field.ends_with("_ms") {
+                        if let Some(ms) = value.as_f64() {
+                            stages.insert(format!("{run_name}.{field}"), ms);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Record {
+        stages,
+        counters: BTreeMap::new(),
+    }
+}
+
+/// Runs the report; returns the process exit code.
+pub fn run(opts: &ReportOpts) -> i32 {
+    let (base, cand) = match (load(&opts.baseline), load(&opts.candidate)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("divide report: {e}");
+            return 1;
+        }
+    };
+
+    let mut names: Vec<&String> = base.stages.keys().collect();
+    for name in cand.stages.keys() {
+        if !base.stages.contains_key(name) {
+            names.push(name);
+        }
+    }
+    names.sort();
+
+    let mut table = TextTable::new(
+        format!(
+            "divide report: {} -> {} (gate: +{:.0}% on stages >= {:.1} ms)",
+            opts.baseline.display(),
+            opts.candidate.display(),
+            opts.max_regress_pct,
+            opts.min_wall_ms
+        ),
+        &[
+            "stage",
+            "baseline ms",
+            "candidate ms",
+            "delta ms",
+            "delta %",
+            "status",
+        ],
+    );
+    let mut csv = CsvWriter::new();
+    csv.record(&[
+        "stage",
+        "baseline_ms",
+        "candidate_ms",
+        "delta_ms",
+        "delta_pct",
+        "status",
+    ]);
+    let fmt_ms = |v: Option<f64>| v.map_or("-".to_string(), |ms| format!("{ms:.2}"));
+    let mut regressed = 0usize;
+    for name in names {
+        let b = base.stages.get(name).copied();
+        let c = cand.stages.get(name).copied();
+        let (delta_ms, delta_pct, status) = match (b, c) {
+            (Some(b_ms), Some(c_ms)) => {
+                let delta = c_ms - b_ms;
+                let pct = if b_ms > 0.0 {
+                    100.0 * delta / b_ms
+                } else {
+                    0.0
+                };
+                let status = if b_ms < opts.min_wall_ms && c_ms < opts.min_wall_ms {
+                    "below floor"
+                } else if pct > opts.max_regress_pct {
+                    regressed += 1;
+                    "REGRESSED"
+                } else if pct < -opts.max_regress_pct {
+                    "improved"
+                } else {
+                    "ok"
+                };
+                (format!("{delta:+.2}"), format!("{pct:+.1}"), status)
+            }
+            (None, Some(_)) => ("-".into(), "-".into(), "new"),
+            (Some(_), None) => ("-".into(), "-".into(), "removed"),
+            (None, None) => unreachable!("name came from one of the records"),
+        };
+        table.row(&[
+            name.clone(),
+            fmt_ms(b),
+            fmt_ms(c),
+            delta_ms.clone(),
+            delta_pct.clone(),
+            status.to_string(),
+        ]);
+        csv.record(&[
+            name.clone(),
+            fmt_ms(b),
+            fmt_ms(c),
+            delta_ms,
+            delta_pct,
+            status.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+
+    // Counters that changed, for context (never gated: counts measure
+    // work shape, not speed).
+    let mut counter_names: Vec<&String> = base.counters.keys().collect();
+    for name in cand.counters.keys() {
+        if !base.counters.contains_key(name) {
+            counter_names.push(name);
+        }
+    }
+    counter_names.sort();
+    let changed: Vec<&String> = counter_names
+        .into_iter()
+        .filter(|n| base.counters.get(*n) != cand.counters.get(*n))
+        .collect();
+    if !changed.is_empty() {
+        let mut ct = TextTable::new(
+            "counters that changed",
+            &["counter", "baseline", "candidate"],
+        );
+        let fmt = |v: Option<&u64>| v.map_or("-".to_string(), u64::to_string);
+        for name in changed {
+            ct.row(&[
+                name.clone(),
+                fmt(base.counters.get(name)),
+                fmt(cand.counters.get(name)),
+            ]);
+        }
+        print!("{}", ct.render());
+    }
+
+    if let Some(path) = &opts.csv_out {
+        if let Err(e) = csv.write_to(path) {
+            eprintln!("divide report: cannot write {}: {e}", path.display());
+            return 1;
+        }
+        leo_obs::log_info!("wrote {}", path.display());
+    }
+
+    if regressed > 0 {
+        eprintln!(
+            "divide report: {regressed} stage(s) regressed beyond +{:.0}%",
+            opts.max_regress_pct
+        );
+        EXIT_REGRESSED
+    } else {
+        0
+    }
+}

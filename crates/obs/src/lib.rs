@@ -3,7 +3,8 @@
 //! The workspace's observability substrate: hierarchical timing
 //! [`span`]s, a process-wide [`metrics`] registry (counters, gauges,
 //! fixed-bucket histograms), JSON [`manifest`] emission for reproducible
-//! runs, and the leveled stderr [`log`]ger behind the `divide` CLI.
+//! runs, the leveled stderr [`log`]ger behind the `divide` CLI, and the
+//! opt-in [`progress`] line it prints per pipeline stage.
 //!
 //! ## The determinism contract
 //!
@@ -32,6 +33,7 @@ pub mod json;
 pub mod log;
 pub mod manifest;
 pub mod metrics;
+pub mod progress;
 pub mod span;
 
 use std::sync::atomic::{AtomicU8, Ordering};

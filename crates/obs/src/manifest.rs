@@ -30,6 +30,7 @@ const WORKSPACE_CRATES: &[&str] = &[
     "leo-report",
     "leo-parallel",
     "leo-obs",
+    "leo-trace",
 ];
 
 /// Identity of one pipeline invocation.
@@ -118,7 +119,13 @@ fn metrics_json(snap: &MetricsSnapshot) -> Json {
                 )
                 .set("counts", h.counts.clone())
                 .set("count", h.count)
-                .set("sum", h.sum),
+                .set("sum", h.sum)
+                // Interpolated quantiles (non-finite → null); readers
+                // get latency percentiles without re-deriving them
+                // from the bucket vectors.
+                .set("p50", h.quantile(0.50))
+                .set("p90", h.quantile(0.90))
+                .set("p99", h.quantile(0.99)),
         );
     }
     Json::obj()
@@ -247,6 +254,27 @@ mod tests {
         // The span tree nests demand.generate under stage.dataset.
         assert!(rendered.contains("\"demand.generate\""));
         assert!(rendered.contains("\"t_manifest.counter\":3"));
+        crate::reset();
+    }
+
+    #[test]
+    fn manifest_histograms_carry_quantiles() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        for _ in 0..10 {
+            metrics::observe_with("t_manifest.hist", &[10.0, 20.0, f64::INFINITY], 15.0);
+        }
+        let m = run_manifest(&info(), 1.0);
+        let hist = m
+            .get("metrics")
+            .and_then(|m| m.get("histograms"))
+            .and_then(|h| h.get("t_manifest.hist"))
+            .expect("histogram dumped");
+        for (key, want) in [("p50", 15.0), ("p90", 19.0), ("p99", 19.9)] {
+            let got = hist.get(key).and_then(|v| v.as_f64()).expect(key);
+            assert!((got - want).abs() < 1e-9, "{key}: {got} != {want}");
+        }
         crate::reset();
     }
 

@@ -68,6 +68,37 @@ impl Histogram {
     pub fn mean(&self) -> f64 {
         self.sum / self.count as f64
     }
+
+    /// Estimates the `q`-quantile (`q` clamped to `[0, 1]`) by linear
+    /// interpolation inside the bucket where the cumulative count
+    /// crosses `q * count` — the classic Prometheus-style estimator.
+    /// The first bucket interpolates from a lower edge of `0` (all
+    /// registered metrics are non-negative); a crossing in a bucket
+    /// with an infinite upper bound returns that bucket's lower edge,
+    /// the largest finite statement the histogram can make. `NaN` when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = cum + c;
+            if c > 0 && next as f64 >= target {
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let hi = self.bounds[i];
+                if !hi.is_finite() {
+                    return lo;
+                }
+                let frac = ((target - cum as f64) / c as f64).clamp(0.0, 1.0);
+                return lo + frac * (hi - lo);
+            }
+            cum = next;
+        }
+        // Unreachable while counts sum to count, but stay total.
+        f64::NAN
+    }
 }
 
 static COUNTERS: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
@@ -185,6 +216,53 @@ mod tests {
         assert_eq!(h.count, 3);
         assert!((h.sum - 505.5).abs() < 1e-9);
         assert!((h.mean() - 168.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        // 10 observations in (10, 20]: the q-quantile lands at
+        // 10 + q * 10 exactly under linear interpolation.
+        let mut h = Histogram::new(&[10.0, 20.0, f64::INFINITY]);
+        for _ in 0..10 {
+            h.observe(15.0);
+        }
+        assert!((h.quantile(0.50) - 15.0).abs() < 1e-9);
+        assert!((h.quantile(0.90) - 19.0).abs() < 1e-9);
+        assert!((h.quantile(0.99) - 19.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_cross_buckets_and_clamp_edges() {
+        // 8 in (0, 10], 2 in (10, 100]: p50 is inside the first bucket
+        // (target 5 of its 8 → 10 * 5/8 = 6.25), p90 crosses into the
+        // second (needs 9, first holds 8 → 10 + 90 * 1/2 = 55).
+        let mut h = Histogram::new(&[10.0, 100.0, f64::INFINITY]);
+        for _ in 0..8 {
+            h.observe(5.0);
+        }
+        for _ in 0..2 {
+            h.observe(50.0);
+        }
+        assert!((h.quantile(0.50) - 6.25).abs() < 1e-9);
+        assert!((h.quantile(0.90) - 55.0).abs() < 1e-9);
+        // q=0 and q=1 clamp to the occupied range's edges.
+        assert!((h.quantile(0.0) - 0.0).abs() < 1e-9);
+        assert!((h.quantile(1.0) - 100.0).abs() < 1e-9);
+        // Out-of-range q clamps rather than extrapolating.
+        assert!((h.quantile(-3.0) - 0.0).abs() < 1e-9);
+        assert!((h.quantile(7.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_in_infinite_bucket_returns_lower_edge() {
+        let mut h = Histogram::new(&[10.0, f64::INFINITY]);
+        h.observe(5.0);
+        h.observe(1e12);
+        // p99 lands in the +inf bucket: the estimator answers with its
+        // lower edge, the largest finite bound it can stand behind.
+        assert!((h.quantile(0.99) - 10.0).abs() < 1e-9);
+        // Empty histograms have no quantiles.
+        assert!(Histogram::new(&[1.0, f64::INFINITY]).quantile(0.5).is_nan());
     }
 
     #[test]

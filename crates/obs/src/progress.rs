@@ -1,0 +1,103 @@
+//! The `--progress` stderr line: one `[divide][progress] <stage>`
+//! line per top-level `stage.*` span begin, with elapsed wall-clock.
+//!
+//! Progress is opt-in ([`try_enable`], wired to the CLI's
+//! `--progress`) and refuses to enable when any of these hold:
+//!
+//! * observability is off (`DIVIDE_OBS=off` — spans never fire anyway),
+//! * the log threshold is below info (`--quiet` / `DIVIDE_LOG=warn`),
+//! * stderr is not a terminal (piped/redirected runs stay clean) —
+//!   unless `DIVIDE_PROGRESS=force`, the escape hatch the CLI tests
+//!   use to exercise the output without a TTY.
+//!
+//! Like every observable in this crate, progress only *prints*; it can
+//! never perturb artifact bytes.
+
+use std::io::IsTerminal;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static EPOCH: parking_lot::Mutex<Option<Instant>> = parking_lot::Mutex::new(None);
+
+/// Enables the progress line, or explains why it stays off. The CLI
+/// logs the refusal at debug level and continues — progress is a
+/// convenience, never an error.
+pub fn try_enable() -> Result<(), &'static str> {
+    if !crate::enabled() {
+        return Err("observability is off (DIVIDE_OBS)");
+    }
+    if !crate::log::level_enabled(crate::log::Level::Info) {
+        return Err("log level below info (--quiet)");
+    }
+    let forced = std::env::var("DIVIDE_PROGRESS").is_ok_and(|v| v == "force");
+    if !forced && !std::io::stderr().is_terminal() {
+        return Err("stderr is not a terminal");
+    }
+    *EPOCH.lock() = Some(Instant::now());
+    ENABLED.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Turns the progress line off (tests restore state with this).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether the progress line is currently printing.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Span-begin hook, called by `span::enter` with the full span path.
+/// Prints only for top-level `stage.*` spans — the same set the run
+/// manifest's stage table is built from.
+pub(crate) fn on_span_begin(path: &str) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    if path.contains('/') {
+        return;
+    }
+    let Some(stage) = path.strip_prefix("stage.") else {
+        return;
+    };
+    let elapsed = EPOCH
+        .lock()
+        .map_or(0.0, |epoch| epoch.elapsed().as_secs_f64());
+    eprintln!("[divide][progress] stage {stage} (t+{elapsed:.2}s)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refuses_when_obs_is_off() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(false);
+        assert!(try_enable().is_err());
+        crate::set_enabled(true);
+        disable();
+    }
+
+    #[test]
+    fn refuses_below_info_level() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(true);
+        let prev = crate::log::max_level();
+        crate::log::set_level(crate::log::Level::Warn);
+        assert_eq!(try_enable(), Err("log level below info (--quiet)"));
+        crate::log::set_level(prev);
+        disable();
+    }
+
+    #[test]
+    fn disabled_hook_is_inert() {
+        let _lock = crate::test_lock();
+        disable();
+        assert!(!enabled());
+        // Must not panic or print with no epoch set.
+        on_span_begin("stage.t_progress");
+    }
+}

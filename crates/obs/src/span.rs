@@ -19,7 +19,44 @@
 use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
+
+/// Which boundary of a span's lifetime a [`SpanSink`] call reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanPhase {
+    /// The span just opened; the `Instant` is its start.
+    Begin,
+    /// The span just closed; the `Instant` is its end.
+    End,
+}
+
+/// A span sink observes every span boundary with the span's *leaf*
+/// name and the **same** `Instant` the registry times with — a
+/// downstream timeline (leo-trace) therefore agrees with [`SpanStats`]
+/// totals to the nanosecond. A plain `fn` pointer: sinks must be
+/// global and capture nothing.
+pub type SpanSink = fn(SpanPhase, &str, Instant);
+
+static SINK: Mutex<Option<SpanSink>> = Mutex::new(None);
+/// Fast-path flag mirroring `SINK.is_some()`, so the overwhelmingly
+/// common no-sink case costs one relaxed load instead of a lock.
+static SINK_SET: AtomicBool = AtomicBool::new(false);
+
+/// Installs (`Some`) or removes (`None`) the process-wide span sink.
+pub fn set_sink(sink: Option<SpanSink>) {
+    *SINK.lock() = sink;
+    SINK_SET.store(sink.is_some(), Ordering::Relaxed);
+}
+
+fn notify_sink(phase: SpanPhase, leaf: &str, at: Instant) {
+    if !SINK_SET.load(Ordering::Relaxed) {
+        return;
+    }
+    if let Some(sink) = *SINK.lock() {
+        sink(phase, leaf, at);
+    }
+}
 
 /// Accumulated statistics of one span path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,16 +119,24 @@ pub fn enter(name: &str) -> SpanGuard {
         stack.push(path.clone());
         path
     });
+    // Progress printing is stderr I/O; do it before taking the start
+    // timestamp so it never inflates the span's own measurement.
+    crate::progress::on_span_begin(&path);
+    let start = Instant::now();
+    notify_sink(SpanPhase::Begin, name, start);
     SpanGuard {
         path: Some(path),
-        start: Instant::now(),
+        start,
     }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(path) = self.path.take() {
-            let ns = self.start.elapsed().as_nanos() as u64;
+            let end = Instant::now();
+            let ns = end.saturating_duration_since(self.start).as_nanos() as u64;
+            let leaf = path.rsplit('/').next().unwrap_or(&path);
+            notify_sink(SpanPhase::End, leaf, end);
             STACK.with(|stack| {
                 stack.borrow_mut().pop();
             });
@@ -172,6 +217,43 @@ mod tests {
         }
         crate::set_enabled(true);
         assert_eq!(stats_under("t_off.span").len(), before);
+    }
+
+    /// A capture buffer for the sink test; `SpanSink` is a plain fn
+    /// pointer, so the sink writes into a static instead of a closure.
+    static SINK_LOG: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+    fn capture_sink(phase: SpanPhase, leaf: &str, _at: Instant) {
+        SINK_LOG.lock().push(format!("{phase:?}:{leaf}"));
+    }
+
+    #[test]
+    fn sink_sees_span_boundaries_with_leaf_names() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(true);
+        set_sink(Some(capture_sink));
+        SINK_LOG.lock().clear();
+        {
+            let _outer = enter("t_sinkspan.outer");
+            let _inner = enter("child");
+        }
+        set_sink(None);
+        let log = SINK_LOG.lock().clone();
+        assert_eq!(
+            log,
+            vec![
+                "Begin:t_sinkspan.outer",
+                "Begin:child",
+                "End:child",
+                "End:t_sinkspan.outer",
+            ]
+        );
+        // With the sink removed, boundaries go nowhere.
+        SINK_LOG.lock().clear();
+        {
+            let _s = enter("t_sinkspan.after");
+        }
+        assert!(SINK_LOG.lock().is_empty());
     }
 
     #[test]

@@ -31,9 +31,14 @@
 //! Every fan-out reports to the `leo-obs` metrics registry (chunk
 //! counts, per-worker busy/idle nanoseconds, memo hit/miss) under the
 //! `parallel.*` namespace — recorded once per primitive call, never per
-//! item, and dropped entirely when observability is off. Metrics feed
-//! the run manifest only; they can never perturb results (the
-//! determinism contract holds with observability on or off).
+//! item, and dropped entirely when observability is off. When the
+//! `leo-trace` timeline recorder is on, each completed chunk
+//! additionally lands as one complete event on its worker-index lane
+//! (chunk index, item range, busy duration), so `--trace` shows the
+//! fan-out shape per worker. Metrics and trace events feed the run
+//! manifest and trace export only; they can never perturb results (the
+//! determinism contract holds with observability and tracing on or
+//! off).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -149,11 +154,16 @@ where
 {
     let workers = effective_threads();
     let obs = leo_obs::enabled();
+    let tracing = leo_trace::enabled();
     let t0 = Instant::now();
     if workers <= 1 || items.len() <= 1 {
         let out: Vec<R> = items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        let t1 = Instant::now();
+        if tracing {
+            leo_trace::worker_chunk(0, "parallel.par_map", t0, t1, 0, items.len());
+        }
         if obs {
-            let wall = t0.elapsed().as_nanos() as u64;
+            let wall = t1.saturating_duration_since(t0).as_nanos() as u64;
             record_fanout("parallel.par_map_calls", items.len(), &[wall], wall);
         }
         return out;
@@ -162,7 +172,8 @@ where
     let nested = crossbeam::scope(|s| {
         let handles: Vec<_> = plan
             .iter()
-            .map(|&(lo, hi)| {
+            .enumerate()
+            .map(|(w, &(lo, hi))| {
                 let f = &f;
                 let items = &items[lo..hi];
                 s.spawn(move |_| {
@@ -176,7 +187,11 @@ where
                             .map(|(k, x)| f(lo + k, x))
                             .collect::<Vec<R>>()
                     });
-                    (out, w0.elapsed().as_nanos() as u64)
+                    let w1 = Instant::now();
+                    if tracing {
+                        leo_trace::worker_chunk(w, "parallel.par_map", w0, w1, lo, hi);
+                    }
+                    (out, w1.saturating_duration_since(w0).as_nanos() as u64)
                 })
             })
             .collect();
@@ -211,11 +226,16 @@ where
 {
     let workers = effective_threads();
     let obs = leo_obs::enabled();
+    let tracing = leo_trace::enabled();
     let t0 = Instant::now();
     if workers <= 1 || len <= 1 {
         let out = (0..len).map(f).sum();
+        let t1 = Instant::now();
+        if tracing {
+            leo_trace::worker_chunk(0, "parallel.par_sum", t0, t1, 0, len);
+        }
         if obs {
-            let wall = t0.elapsed().as_nanos() as u64;
+            let wall = t1.saturating_duration_since(t0).as_nanos() as u64;
             record_fanout("parallel.par_sum_calls", len, &[wall], wall);
         }
         return out;
@@ -223,12 +243,17 @@ where
     let parts: Vec<(u64, u64)> = crossbeam::scope(|s| {
         let handles: Vec<_> = chunks(len, workers)
             .into_iter()
-            .map(|(lo, hi)| {
+            .enumerate()
+            .map(|(w, (lo, hi))| {
                 let f = &f;
                 s.spawn(move |_| {
                     let w0 = Instant::now();
                     let sum = with_threads(workers, || (lo..hi).map(f).sum::<u64>());
-                    (sum, w0.elapsed().as_nanos() as u64)
+                    let w1 = Instant::now();
+                    if tracing {
+                        leo_trace::worker_chunk(w, "parallel.par_sum", w0, w1, lo, hi);
+                    }
+                    (sum, w1.saturating_duration_since(w0).as_nanos() as u64)
                 })
             })
             .collect();
@@ -414,6 +439,33 @@ mod tests {
         let sums0 = metrics::counter_value("parallel.par_sum_calls");
         let _ = with_threads(2, || par_sum_u64(10, |i| i as u64));
         assert!(metrics::counter_value("parallel.par_sum_calls") > sums0);
+    }
+
+    #[test]
+    fn fanouts_record_worker_chunk_trace_events() {
+        leo_obs::set_enabled(true);
+        leo_trace::set_enabled(true);
+        // 103 items over 4 workers → chunks (0,26) (26,52) (52,78)
+        // (78,103); a length no other test uses, so concurrent tests
+        // recording chunks cannot alias these ranges.
+        let items: Vec<u64> = (0..103).collect();
+        let _ = with_threads(4, || par_map(&items, |_, &x| x + 1));
+        let lanes = leo_trace::snapshot();
+        let chunk_on = |label: &str, lo: u64, hi: u64| {
+            lanes.iter().any(|lane| {
+                lane.label == label
+                    && lane.events.iter().any(|e| {
+                        matches!(e.kind, leo_trace::EventKind::Complete { .. })
+                            && e.name == "parallel.par_map"
+                            && e.args.contains(&("lo", lo))
+                            && e.args.contains(&("hi", hi))
+                    })
+            })
+        };
+        assert!(chunk_on("worker-0", 0, 26), "{lanes:?}");
+        assert!(chunk_on("worker-3", 78, 103), "{lanes:?}");
+        leo_trace::set_enabled(false);
+        leo_trace::reset();
     }
 
     #[test]

@@ -4,16 +4,35 @@
 # each captured via --metrics-out and merged into BENCH_tier1.json at
 # the repo root. The warm runs must be pure cache hits; the JSON
 # records both wall-clocks so the snapshot cache's win is a tracked
-# number, not an anecdote.
+# number, not an anecdote. Extra warm runs at 4 threads (best of 3,
+# --trace vs plain) record the timeline recorder's overhead.
+#
+# Usage:
+#   scripts/bench.sh          regenerate BENCH_tier1.json
+#   scripts/bench.sh --gate   regenerate, then `divide report` the new
+#                             numbers against the previous file; exits
+#                             non-zero when a wall-clock regressed by
+#                             more than $BENCH_GATE_PCT percent (20).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+gate=0
+if [ "${1:-}" = "--gate" ]; then
+    gate=1
+    shift
+fi
+[ $# -eq 0 ] || { echo "usage: scripts/bench.sh [--gate]" >&2; exit 2; }
 
 echo "[bench] cargo build --release -p divide-cli"
 cargo build --release -p divide-cli
 
 work="$(mktemp -d)"
 trap 'rm -rf "$work"' EXIT
+
+if [ $gate -eq 1 ] && [ -s BENCH_tier1.json ]; then
+    cp BENCH_tier1.json "$work/baseline.json"
+fi
 
 for threads in 1 4; do
     cachedir="$work/cache-$threads"
@@ -29,6 +48,22 @@ for threads in 1 4; do
     diff -r --exclude run_manifest.json "$work/cold-$threads" "$work/warm-$threads" \
         || { echo "[bench] warm artifacts differ at $threads threads" >&2; exit 1; }
 done
+
+# Tracing overhead: the same warm 4-thread run with the recorder on
+# vs off, best of 3 each — single samples are all scheduler noise on a
+# loaded box.
+echo "[bench] divide --scale paper all --threads 4 (warm, --trace vs plain, 3x each)"
+for rep in 1 2 3; do
+    ./target/release/divide --scale paper all \
+        --out "$work/plain-rep" --cache "$work/cache-4" --threads 4 -q \
+        --metrics-out "$work/plain-rep$rep.json" >/dev/null
+    ./target/release/divide --scale paper all \
+        --out "$work/traced-rep" --cache "$work/cache-4" --threads 4 -q --trace \
+        --metrics-out "$work/traced-rep$rep.json" >/dev/null
+done
+diff -r --exclude run_manifest.json --exclude trace.json --exclude trace.folded \
+    "$work/warm-4" "$work/traced-rep" \
+    || { echo "[bench] --trace changed artifact bytes" >&2; exit 1; }
 
 python3 - "$work" BENCH_tier1.json <<'PY'
 import json, sys
@@ -49,11 +84,30 @@ for threads in (1, 4):
         "cache_bytes_written": cold["counters"].get("cache.bytes_written", 0),
         "cache_bytes_read": wc.get("cache.bytes_read", 0),
     }
+plain = min(json.load(open(f"{work}/plain-rep{r}.json"))["wall_ms"] for r in (1, 2, 3))
+traced = min(json.load(open(f"{work}/traced-rep{r}.json"))["wall_ms"] for r in (1, 2, 3))
+warm = result["runs"]["threads_4"]
+# Informational (not a *_ms key pair the gate compares): tracing's cost
+# relative to the identical untraced warm run, best of 3 each.
+warm["trace_overhead_pct"] = round(100.0 * (traced - plain) / plain, 2)
 with open(out_path, "w") as f:
     json.dump(result, f, indent=2)
     f.write("\n")
 for name, run in result["runs"].items():
     print(f"[bench] {name}: cold {run['cold_wall_ms']:.0f} ms, "
           f"warm {run['warm_wall_ms']:.0f} ms ({run['warm_speedup']:.2f}x)")
+print(f"[bench] trace overhead at 4 threads: {warm['trace_overhead_pct']:+.1f}%")
 print(f"[bench] wrote {out_path}")
 PY
+
+if [ $gate -eq 1 ]; then
+    if [ -s "$work/baseline.json" ]; then
+        echo "[bench] gating new numbers against the previous BENCH_tier1.json"
+        ./target/release/divide report \
+            --baseline "$work/baseline.json" \
+            --candidate BENCH_tier1.json \
+            --max-regress-pct "${BENCH_GATE_PCT:-20}"
+    else
+        echo "[bench] --gate: no previous BENCH_tier1.json; nothing to compare"
+    fi
+fi

@@ -105,6 +105,81 @@ trap 'rm -rf "$out" "$cachedir" "$cold" "$warm" "$nocache"' EXIT
 diff -r --exclude run_manifest.json "$cold" "$nocache" \
     || { echo "[tier1] --no-cache artifacts differ" >&2; exit 1; }
 
+echo "[tier1] --trace writes a valid Chrome trace without touching artifacts"
+traced="$(mktemp -d)"
+trap 'rm -rf "$out" "$cachedir" "$cold" "$warm" "$nocache" "$traced"' EXIT
+./target/release/divide --scale small all --out "$traced" --no-cache \
+    --threads 4 --trace -q
+diff -r --exclude run_manifest.json --exclude trace.json --exclude trace.folded \
+    "$cold" "$traced" \
+    || { echo "[tier1] --trace changed artifact bytes" >&2; exit 1; }
+python3 - "$traced" <<'PY'
+import collections, json, sys
+
+traced = sys.argv[1]
+doc = json.load(open(f"{traced}/trace.json"))
+events = doc["traceEvents"]
+assert events, "empty trace"
+
+# Lane names: main plus one lane per worker index at --threads 4.
+lanes = {e["args"]["name"]: e["tid"] for e in events
+         if e.get("ph") == "M" and e.get("name") == "thread_name"}
+for lane in ("main", "worker-0", "worker-1", "worker-2", "worker-3"):
+    assert lane in lanes, f"missing lane {lane}: {sorted(lanes)}"
+
+# Balanced B/E and non-decreasing timestamps per lane.
+balance = collections.Counter()
+last_ts = {}
+for e in events:
+    ph = e["ph"]
+    if ph == "M":
+        continue
+    tid = e["tid"]
+    assert e["ts"] >= last_ts.get(tid, 0.0), f"ts went backwards in tid {tid}"
+    last_ts[tid] = e["ts"]
+    if ph == "B":
+        balance[tid] += 1
+    elif ph == "E":
+        balance[tid] -= 1
+assert all(v == 0 for v in balance.values()), f"unbalanced B/E: {balance}"
+
+# Folded stacks must agree with the manifest's span totals (<=1% or
+# 50 us of slack; the shared-timestamp design makes it exact today).
+manifest = json.load(open(f"{traced}/run_manifest.json"))
+folded = collections.defaultdict(int)
+for line in open(f"{traced}/trace.folded"):
+    stack, ns = line.rsplit(" ", 1)
+    for frame in set(stack.split(";")[1:]):
+        folded[frame] += int(ns)
+for span in manifest["spans"]:
+    name, total = span["name"], span["total_ns"]
+    got = folded.get(name, 0)
+    assert abs(got - total) <= max(0.01 * total, 5e4), \
+        f"span {name}: manifest {total} ns vs folded {got} ns"
+print(f"[tier1] trace validates: {len(events)} events, {len(lanes)} lanes")
+PY
+
+echo "[tier1] divide report gates on regressions"
+./target/release/divide report \
+    --baseline "$traced/run_manifest.json" \
+    --candidate "$traced/run_manifest.json" >/dev/null \
+    || { echo "[tier1] self-diff report should exit 0" >&2; exit 1; }
+python3 - "$traced/run_manifest.json" "$out/slowed_manifest.json" <<'PY'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+for stage in doc["stages"]:
+    if stage["name"] == "dataset":
+        stage["wall_ms"] = max(stage["wall_ms"] * 10, 100.0)
+json.dump(doc, open(sys.argv[2], "w"))
+PY
+if ./target/release/divide report \
+    --baseline "$traced/run_manifest.json" \
+    --candidate "$out/slowed_manifest.json" >/dev/null; then
+    echo "[tier1] report missed a 10x dataset-stage regression" >&2
+    exit 1
+fi
+
 echo "[tier1] divide --help exits 0 and lists every command"
 # Capture first: `grep -q` closing the pipe early would EPIPE divide.
 help_out="$(./target/release/divide --help)"
@@ -112,5 +187,9 @@ grep -q timeline <<<"$help_out"
 grep -q metrics-out <<<"$help_out"
 grep -q 'no-cache' <<<"$help_out"
 grep -q DIVIDE_CACHE <<<"$help_out"
+grep -q 'trace' <<<"$help_out"
+grep -q 'progress' <<<"$help_out"
+grep -q 'report' <<<"$help_out"
+grep -q DIVIDE_TRACE <<<"$help_out"
 
 echo "[tier1] OK"

@@ -18,6 +18,7 @@
 //! * [`simnet`] — flow-level oversubscription QoE simulator
 //! * [`report`] — tables, CSV, and SVG figure rendering
 //! * [`obs`] — spans, metrics, run manifests, leveled logging
+//! * [`trace`] — timeline recorder with Chrome-trace/flamegraph export
 //! * [`cache`] — content-addressed dataset snapshots for warm runs
 
 #![forbid(unsafe_code)]
@@ -32,4 +33,5 @@ pub use leo_orbit as orbit;
 pub use leo_parallel as parallel;
 pub use leo_report as report;
 pub use leo_simnet as simnet;
+pub use leo_trace as trace;
 pub use starlink_divide as model;

@@ -132,6 +132,28 @@ fn observability_does_not_perturb_artifact_bytes() {
     assert_eq!(on_1, on_4, "thread count leaked into artifacts");
 }
 
+/// The timeline recorder shares the observability contract (DESIGN.md
+/// §10): recording worker-chunk events and span begin/ends must never
+/// change a single artifact byte, at any thread count.
+#[test]
+fn tracing_does_not_perturb_artifact_bytes() {
+    use starlink_divide_repro::{obs, trace};
+
+    obs::set_enabled(true);
+    trace::set_enabled(true);
+    trace::reset();
+    let traced_1 = artifact_bytes(1);
+    let traced_4 = artifact_bytes(4);
+    trace::set_enabled(false);
+    trace::reset();
+    let plain_1 = artifact_bytes(1);
+    let plain_4 = artifact_bytes(4);
+
+    assert_eq!(traced_1, plain_1, "tracing on/off differ at 1 thread");
+    assert_eq!(traced_4, plain_4, "tracing on/off differ at 4 threads");
+    assert_eq!(traced_1, traced_4, "thread count leaked into artifacts");
+}
+
 /// The snapshot-cache determinism contract (DESIGN.md §9): an artifact
 /// rendered from a warm snapshot must be byte-equal to one rendered
 /// from a cold generation — at every thread count. This is the
