@@ -58,9 +58,10 @@ usage: divide [--scale small|paper] [--out DIR] [--threads N] <command>
 options:
   --scale small|paper  dataset scale (default: paper)
   --out DIR            artifact output directory (default: results/)
-  --threads N          worker threads (default: $DIVIDE_THREADS, else
-                       available parallelism); output is identical for
-                       every N
+  --threads N          worker-pool size (default: $DIVIDE_THREADS, else
+                       available parallelism): N-1 persistent workers
+                       are spawned once and reused by every fan-out;
+                       output is identical for every N
   --cache DIR          dataset snapshot cache directory (default:
                        $DIVIDE_CACHE, else <out>/.divide-cache);
                        artifacts are byte-identical warm or cold
@@ -294,6 +295,10 @@ fn main() {
     leo_parallel::set_global_threads(threads);
     // The manifest must describe this invocation only.
     leo_obs::reset();
+    // Spawn the persistent worker pool up front (after the metrics
+    // reset, so `parallel.pool_spawned_threads` lands in the manifest)
+    // so the first paper-scale fan-out doesn't pay thread creation.
+    leo_parallel::pool::prewarm(leo_parallel::effective_threads());
     if trace.is_some() {
         if leo_obs::enabled() {
             leo_trace::set_enabled(true);

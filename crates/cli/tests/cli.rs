@@ -124,6 +124,10 @@ fn trace_flag_writes_chrome_trace_with_worker_lanes_and_folded_stacks() {
             "--out",
         ])
         .arg(&dir)
+        // Disable the serial-threshold probe so every fan-out goes
+        // through the pool: worker lanes must exist on any host, no
+        // matter how fast its chunks run.
+        .env("DIVIDE_PAR_THRESHOLD_NS", "0")
         .arg("table1"));
     assert!(
         out.status.success(),

@@ -22,17 +22,48 @@
 //! * [`Memo`] caches a value computed once; racing initializers both
 //!   compute the same deterministic value, and one wins.
 //!
+//! ## Execution model (the [`pool`] module)
+//!
+//! Chunks execute on a **lazily-started persistent worker pool**:
+//! chunk 0 on the calling thread, chunk `i` on pool worker `i - 1`,
+//! spawned on first use and reused for the life of the process.
+//! Dispatch is a mailbox push + condvar wake (microseconds), not an OS
+//! thread spawn/join per fan-out — the per-call `crossbeam::scope`
+//! this crate started with made `--threads 4` *slower* than
+//! `--threads 1` at paper scale.
+//!
+//! Two guards keep pool overhead away from work that can't amortize
+//! it:
+//!
+//! * **Serial threshold.** When a fan-out has more items than workers,
+//!   a short timed probe (~10 µs of leading items) estimates one
+//!   chunk's duration; fan-outs whose chunks would run under the
+//!   threshold ([`effective_serial_threshold_ns`], default 100 µs,
+//!   `DIVIDE_PAR_THRESHOLD_NS` to override, 0 disables the probe)
+//!   finish serially — reusing the probed prefix — instead of paying
+//!   dispatch for sliver-sized chunks.
+//! * **Nested flattening.** While a chunk runs, the thread-count
+//!   override is pinned to 1, so a nested `par_map` inside a pool
+//!   worker executes serially instead of oversubscribing the host.
+//!
+//! Neither guard can affect results: every item's value is independent
+//! of where (and how often) it is computed.
+//!
 //! Thread-count resolution (highest priority first): a thread-local
 //! override ([`with_threads`], used by the determinism tests), the
 //! process-wide setting ([`set_global_threads`], wired to the CLI's
-//! `--threads N`), the `DIVIDE_THREADS` environment variable, and
-//! finally [`std::thread::available_parallelism`].
+//! `--threads N`, which also pre-warms the pool), the `DIVIDE_THREADS`
+//! environment variable, and finally
+//! [`std::thread::available_parallelism`].
 //!
-//! Every fan-out reports to the `leo-obs` metrics registry (chunk
-//! counts, per-worker busy/idle nanoseconds, memo hit/miss) under the
-//! `parallel.*` namespace — recorded once per primitive call, never per
-//! item, and dropped entirely when observability is off. When the
-//! `leo-trace` timeline recorder is on, each completed chunk
+//! Every pooled fan-out reports to the `leo-obs` metrics registry
+//! (chunk counts, per-worker busy/idle nanoseconds, memo hit/miss)
+//! under the `parallel.*` namespace — recorded once per primitive
+//! call, never per item, and dropped entirely when observability is
+//! off. Serial executions (one worker, single-item input, or
+//! sub-threshold work) count under `parallel.serial_calls` only, so
+//! manifests never overstate real parallelism with synthetic chunks.
+//! When the `leo-trace` timeline recorder is on, each completed chunk
 //! additionally lands as one complete event on its worker-index lane
 //! (chunk index, item range, busy duration), so `--trace` shows the
 //! fan-out shape per worker. Metrics and trace events feed the run
@@ -40,20 +71,22 @@
 //! determinism contract holds with observability and tracing on or
 //! off).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
-use parking_lot::RwLock;
+pub mod pool;
+
+use parking_lot::{Mutex, RwLock};
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Records one fan-out's worker stats into the `leo-obs` metrics
-/// registry (`parallel.*` namespace, DESIGN.md §8). Called once per
-/// primitive invocation — never per item — so the instrumentation cost
-/// stays off the hot path. Callers must check [`leo_obs::enabled`]
-/// first.
+/// Records one pooled fan-out's worker stats into the `leo-obs`
+/// metrics registry (`parallel.*` namespace, DESIGN.md §8). Called
+/// once per primitive invocation — never per item — so the
+/// instrumentation cost stays off the hot path. Callers must check
+/// [`leo_obs::enabled`] first.
 fn record_fanout(calls_counter: &str, items: usize, busy_ns: &[u64], wall_ns: u64) {
     use leo_obs::metrics;
     metrics::counter_add(calls_counter, 1);
@@ -68,6 +101,18 @@ fn record_fanout(calls_counter: &str, items: usize, busy_ns: &[u64], wall_ns: u6
             "parallel.worker_idle_ns_total",
             wall_ns.saturating_sub(busy),
         );
+    }
+}
+
+/// Records one serial primitive execution: the thread count resolved
+/// to one, the input couldn't be split, or the probe estimated
+/// sub-threshold chunks. Deliberately *not* a synthetic one-chunk
+/// fan-out — `parallel.chunks`/`parallel.worker_busy_ns` describe pool
+/// work only, so manifests don't overstate real parallelism.
+fn record_serial(items: usize) {
+    if leo_obs::enabled() {
+        leo_obs::metrics::counter_add("parallel.serial_calls", 1);
+        leo_obs::metrics::counter_add("parallel.items", items as u64);
     }
 }
 
@@ -86,16 +131,24 @@ pub fn set_global_threads(n: Option<usize>) {
 }
 
 /// Runs `f` with the effective thread count forced to `n` on this
-/// thread (and on any workers it spawns through this crate). Used by
-/// the determinism tests to compare `threads=1` against `threads=4`
-/// within one process.
+/// thread. Used by the determinism tests to compare `threads=1`
+/// against `threads=4` within one process, and by the pool to pin
+/// nested fan-outs inside a chunk to serial execution.
+///
+/// The previous value is restored even if `f` panics (via a drop
+/// guard): under `catch_unwind` — pool chunks, tests — a leaked
+/// override would silently poison thread-count resolution for the
+/// rest of the thread's life.
 pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
-    THREAD_OVERRIDE.with(|cell| {
-        let prev = cell.replace(n.max(1));
-        let out = f();
-        cell.set(prev);
-        out
-    })
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|cell| cell.set(self.0));
+        }
+    }
+    let prev = THREAD_OVERRIDE.with(|cell| cell.replace(n.max(1)));
+    let _restore = Restore(prev);
+    f()
 }
 
 fn env_threads() -> Option<usize> {
@@ -124,6 +177,77 @@ pub fn effective_threads() -> usize {
     })
 }
 
+/// Default minimum estimated per-chunk duration that justifies
+/// dispatching to the pool. Dispatch costs single-digit microseconds
+/// per chunk; at 100 µs of work per chunk that overhead is noise,
+/// while the sliver-sized fan-outs visible in the `leo-trace` worker
+/// lanes (tens of microseconds total) stay serial.
+const DEFAULT_SERIAL_THRESHOLD_NS: u64 = 100_000;
+
+/// How much leading work the probe may time before extrapolating a
+/// chunk estimate. Bounds probe overhead for fan-outs of cheap items
+/// and keeps the measurement above clock granularity.
+const PROBE_BUDGET_NS: u64 = 10_000;
+
+/// Sentinel for "no value set" in the threshold resolution chain.
+const UNSET_THRESHOLD: u64 = u64::MAX;
+
+/// Process-wide serial-threshold setting; `UNSET_THRESHOLD` = unset.
+static GLOBAL_SERIAL_THRESHOLD: AtomicU64 = AtomicU64::new(UNSET_THRESHOLD);
+
+thread_local! {
+    /// Per-thread serial-threshold override; `UNSET_THRESHOLD` = none.
+    static SERIAL_THRESHOLD_OVERRIDE: Cell<u64> = const { Cell::new(UNSET_THRESHOLD) };
+}
+
+/// Sets the process-wide serial threshold in nanoseconds. `None`
+/// restores the default resolution (`DIVIDE_PAR_THRESHOLD_NS`, then
+/// [`DEFAULT_SERIAL_THRESHOLD_NS`]). `Some(0)` disables the probe so
+/// every eligible fan-out uses the pool.
+pub fn set_serial_threshold_ns(ns: Option<u64>) {
+    let stored = ns.map_or(UNSET_THRESHOLD, |n| n.min(UNSET_THRESHOLD - 1));
+    GLOBAL_SERIAL_THRESHOLD.store(stored, Ordering::Relaxed);
+}
+
+/// Runs `f` with the serial threshold forced to `ns` nanoseconds on
+/// this thread. `0` disables the probe (every eligible fan-out goes
+/// through the pool — how the determinism and pool tests pin the
+/// parallel path); a huge value forces every probed fan-out serial.
+/// Restores the previous value even if `f` panics.
+pub fn with_serial_threshold<R>(ns: u64, f: impl FnOnce() -> R) -> R {
+    struct Restore(u64);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SERIAL_THRESHOLD_OVERRIDE.with(|cell| cell.set(self.0));
+        }
+    }
+    let prev = SERIAL_THRESHOLD_OVERRIDE.with(|cell| cell.replace(ns.min(UNSET_THRESHOLD - 1)));
+    let _restore = Restore(prev);
+    f()
+}
+
+fn env_serial_threshold() -> Option<u64> {
+    std::env::var("DIVIDE_PAR_THRESHOLD_NS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// The serial threshold in effect on this thread: thread-local
+/// override, else process setting, else `DIVIDE_PAR_THRESHOLD_NS`,
+/// else [`DEFAULT_SERIAL_THRESHOLD_NS`]. Fan-outs whose estimated
+/// per-chunk duration falls below it run serially.
+pub fn effective_serial_threshold_ns() -> u64 {
+    let over = SERIAL_THRESHOLD_OVERRIDE.with(|cell| cell.get());
+    if over != UNSET_THRESHOLD {
+        return over;
+    }
+    let global = GLOBAL_SERIAL_THRESHOLD.load(Ordering::Relaxed);
+    if global != UNSET_THRESHOLD {
+        return global;
+    }
+    env_serial_threshold().unwrap_or(DEFAULT_SERIAL_THRESHOLD_NS)
+}
+
 /// Splits `len` items into at most `workers` contiguous chunks of
 /// near-equal size. Returns `(start, end)` index pairs in order.
 fn chunks(len: usize, workers: usize) -> Vec<(usize, usize)> {
@@ -140,12 +264,21 @@ fn chunks(len: usize, workers: usize) -> Vec<(usize, usize)> {
     out
 }
 
-/// Maps `f` over `items` in parallel, preserving input order in the
-/// output. `f` receives `(index, &item)` so callers can derive
-/// per-element seeds. Single-threaded when the effective thread count
-/// is 1 (the reference path the determinism tests compare against).
+/// One chunk's result slot: the chunk output plus its busy-time in
+/// nanoseconds, written once by the executing thread and drained in
+/// chunk order during reassembly.
+type ChunkSlot<T> = Mutex<Option<(T, u64)>>;
+
+/// Maps `f` over `items` in parallel on the persistent worker pool,
+/// preserving input order in the output. `f` receives `(index, &item)`
+/// so callers can derive per-element seeds. Runs serially when the
+/// effective thread count is 1, the input has at most one item, or the
+/// probe estimates sub-threshold chunks (see the crate docs); the
+/// serial loop is the reference path the determinism tests compare
+/// against.
 ///
-/// Panics in `f` propagate to the caller.
+/// Panics in `f` propagate to the caller, whichever thread they
+/// occurred on.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -153,56 +286,68 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let workers = effective_threads();
+    if workers <= 1 || items.len() <= 1 {
+        let out: Vec<R> = items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        record_serial(items.len());
+        return out;
+    }
+    let threshold = effective_serial_threshold_ns();
+    if threshold > 0 && items.len() > workers {
+        // Timed probe: run items off the front until ~PROBE_BUDGET_NS
+        // has passed, then extrapolate one chunk's duration. Too small
+        // to amortize a dispatch → finish serially, reusing the prefix
+        // (nothing is computed twice on the serial path). Big enough →
+        // discard the ≤10 µs prefix and fan out the *full* range, so
+        // chunk boundaries (and the worker-lane trace) are identical
+        // to an unprobed run.
+        let mut prefix: Vec<R> = Vec::new();
+        let p0 = Instant::now();
+        let mut elapsed = 0u64;
+        while prefix.len() < items.len() {
+            let i = prefix.len();
+            prefix.push(f(i, &items[i]));
+            elapsed = p0.elapsed().as_nanos() as u64;
+            if elapsed >= PROBE_BUDGET_NS {
+                break;
+            }
+        }
+        let per_chunk =
+            (elapsed / prefix.len() as u64).saturating_mul((items.len() / workers) as u64);
+        if prefix.len() == items.len() || per_chunk < threshold {
+            for (i, item) in items.iter().enumerate().skip(prefix.len()) {
+                prefix.push(f(i, item));
+            }
+            record_serial(items.len());
+            return prefix;
+        }
+    }
     let obs = leo_obs::enabled();
     let tracing = leo_trace::enabled();
     let t0 = Instant::now();
-    if workers <= 1 || items.len() <= 1 {
-        let out: Vec<R> = items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
-        let t1 = Instant::now();
-        if tracing {
-            leo_trace::worker_chunk(0, "parallel.par_map", t0, t1, 0, items.len());
-        }
-        if obs {
-            let wall = t1.saturating_duration_since(t0).as_nanos() as u64;
-            record_fanout("parallel.par_map_calls", items.len(), &[wall], wall);
-        }
-        return out;
-    }
     let plan = chunks(items.len(), workers);
-    let nested = crossbeam::scope(|s| {
-        let handles: Vec<_> = plan
+    let slots: Vec<ChunkSlot<Vec<R>>> = plan.iter().map(|_| Mutex::new(None)).collect();
+    pool::run_chunks(plan.len(), &|w| {
+        let (lo, hi) = plan[w];
+        let w0 = Instant::now();
+        let out: Vec<R> = items[lo..hi]
             .iter()
             .enumerate()
-            .map(|(w, &(lo, hi))| {
-                let f = &f;
-                let items = &items[lo..hi];
-                s.spawn(move |_| {
-                    // Workers inherit the caller's thread-count choice
-                    // so any nested primitive resolves identically.
-                    let w0 = Instant::now();
-                    let out = with_threads(workers, || {
-                        items
-                            .iter()
-                            .enumerate()
-                            .map(|(k, x)| f(lo + k, x))
-                            .collect::<Vec<R>>()
-                    });
-                    let w1 = Instant::now();
-                    if tracing {
-                        leo_trace::worker_chunk(w, "parallel.par_map", w0, w1, lo, hi);
-                    }
-                    (out, w1.saturating_duration_since(w0).as_nanos() as u64)
-                })
-            })
+            .map(|(k, x)| f(lo + k, x))
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parallel worker panicked"))
-            .collect::<Vec<(Vec<R>, u64)>>()
-    })
-    .expect("parallel scope panicked");
+        let w1 = Instant::now();
+        if tracing {
+            leo_trace::worker_chunk(w, "parallel.par_map", w0, w1, lo, hi);
+        }
+        *slots[w].lock() = Some((out, w1.saturating_duration_since(w0).as_nanos() as u64));
+    });
+    let mut out = Vec::with_capacity(items.len());
+    let mut busy = Vec::with_capacity(plan.len());
+    for slot in &slots {
+        let (chunk, busy_ns) = slot.lock().take().expect("every chunk completed");
+        out.extend(chunk);
+        busy.push(busy_ns);
+    }
     if obs {
-        let busy: Vec<u64> = nested.iter().map(|&(_, ns)| ns).collect();
         record_fanout(
             "parallel.par_map_calls",
             items.len(),
@@ -210,61 +355,70 @@ where
             t0.elapsed().as_nanos() as u64,
         );
     }
-    let mut out = Vec::with_capacity(items.len());
-    for (chunk, _) in nested {
-        out.extend(chunk);
-    }
     out
 }
 
-/// Sums `f(i)` for `i in 0..len` of `u64` terms in parallel. Integer
-/// addition is associative and commutative, so the result is exact and
-/// independent of the chunking — safe for Monte-Carlo hit counting.
+/// Sums `f(i)` for `i in 0..len` of `u64` terms in parallel on the
+/// persistent worker pool. Integer addition is associative and
+/// commutative, so the result is exact and independent of the chunking
+/// — safe for Monte-Carlo hit counting. The same serial-threshold
+/// probe as [`par_map`] keeps tiny sums off the pool.
 pub fn par_sum_u64<F>(len: usize, f: F) -> u64
 where
     F: Fn(usize) -> u64 + Sync,
 {
     let workers = effective_threads();
+    if workers <= 1 || len <= 1 {
+        let out = (0..len).map(&f).sum();
+        record_serial(len);
+        return out;
+    }
+    let threshold = effective_serial_threshold_ns();
+    if threshold > 0 && len > workers {
+        let mut done = 0usize;
+        let mut acc = 0u64;
+        let p0 = Instant::now();
+        let mut elapsed = 0u64;
+        while done < len {
+            acc += f(done);
+            done += 1;
+            elapsed = p0.elapsed().as_nanos() as u64;
+            if elapsed >= PROBE_BUDGET_NS {
+                break;
+            }
+        }
+        let per_chunk = (elapsed / done as u64).saturating_mul((len / workers) as u64);
+        if done == len || per_chunk < threshold {
+            for i in done..len {
+                acc += f(i);
+            }
+            record_serial(len);
+            return acc;
+        }
+    }
     let obs = leo_obs::enabled();
     let tracing = leo_trace::enabled();
     let t0 = Instant::now();
-    if workers <= 1 || len <= 1 {
-        let out = (0..len).map(f).sum();
-        let t1 = Instant::now();
+    let plan = chunks(len, workers);
+    let slots: Vec<ChunkSlot<u64>> = plan.iter().map(|_| Mutex::new(None)).collect();
+    pool::run_chunks(plan.len(), &|w| {
+        let (lo, hi) = plan[w];
+        let w0 = Instant::now();
+        let sum = (lo..hi).map(&f).sum::<u64>();
+        let w1 = Instant::now();
         if tracing {
-            leo_trace::worker_chunk(0, "parallel.par_sum", t0, t1, 0, len);
+            leo_trace::worker_chunk(w, "parallel.par_sum", w0, w1, lo, hi);
         }
-        if obs {
-            let wall = t1.saturating_duration_since(t0).as_nanos() as u64;
-            record_fanout("parallel.par_sum_calls", len, &[wall], wall);
-        }
-        return out;
+        *slots[w].lock() = Some((sum, w1.saturating_duration_since(w0).as_nanos() as u64));
+    });
+    let mut total = 0u64;
+    let mut busy = Vec::with_capacity(plan.len());
+    for slot in &slots {
+        let (sum, busy_ns) = slot.lock().take().expect("every chunk completed");
+        total += sum;
+        busy.push(busy_ns);
     }
-    let parts: Vec<(u64, u64)> = crossbeam::scope(|s| {
-        let handles: Vec<_> = chunks(len, workers)
-            .into_iter()
-            .enumerate()
-            .map(|(w, (lo, hi))| {
-                let f = &f;
-                s.spawn(move |_| {
-                    let w0 = Instant::now();
-                    let sum = with_threads(workers, || (lo..hi).map(f).sum::<u64>());
-                    let w1 = Instant::now();
-                    if tracing {
-                        leo_trace::worker_chunk(w, "parallel.par_sum", w0, w1, lo, hi);
-                    }
-                    (sum, w1.saturating_duration_since(w0).as_nanos() as u64)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parallel worker panicked"))
-            .collect()
-    })
-    .expect("parallel scope panicked");
     if obs {
-        let busy: Vec<u64> = parts.iter().map(|&(_, ns)| ns).collect();
         record_fanout(
             "parallel.par_sum_calls",
             len,
@@ -272,7 +426,7 @@ where
             t0.elapsed().as_nanos() as u64,
         );
     }
-    parts.into_iter().map(|(sum, _)| sum).sum()
+    total
 }
 
 /// A lazily-initialized, thread-safe memo cell.
@@ -376,8 +530,14 @@ mod tests {
         let items: Vec<u64> = (0..1000).collect();
         let serial = with_threads(1, || par_map(&items, |i, &x| x * 3 + i as u64));
         for n in [2, 3, 8, 64] {
-            let parallel = with_threads(n, || par_map(&items, |i, &x| x * 3 + i as u64));
-            assert_eq!(serial, parallel, "threads={n}");
+            // Forced through the pool (threshold 0), and with the
+            // probe free to choose — bit-identical either way.
+            let pooled = with_serial_threshold(0, || {
+                with_threads(n, || par_map(&items, |i, &x| x * 3 + i as u64))
+            });
+            let probed = with_threads(n, || par_map(&items, |i, &x| x * 3 + i as u64));
+            assert_eq!(serial, pooled, "threads={n} pooled");
+            assert_eq!(serial, probed, "threads={n} probed");
         }
     }
 
@@ -385,7 +545,9 @@ mod tests {
     fn par_sum_is_exact_for_any_thread_count() {
         let expect: u64 = (0..10_000u64).map(|i| i * i).sum();
         for n in [1, 2, 5, 32] {
-            let got = with_threads(n, || par_sum_u64(10_000, |i| (i as u64) * (i as u64)));
+            let got = with_serial_threshold(0, || {
+                with_threads(n, || par_sum_u64(10_000, |i| (i as u64) * (i as u64)))
+            });
             assert_eq!(got, expect, "threads={n}");
         }
     }
@@ -418,9 +580,125 @@ mod tests {
     }
 
     #[test]
-    fn workers_inherit_the_callers_thread_count() {
-        let counts = with_threads(4, || par_map(&[0u8; 8], |_, _| effective_threads()));
-        assert!(counts.iter().all(|&c| c == 4), "{counts:?}");
+    fn with_threads_restores_after_panic() {
+        let before = effective_threads();
+        let caught = std::panic::catch_unwind(|| {
+            with_threads(7, || {
+                panic!("boom");
+            })
+        });
+        assert!(caught.is_err());
+        assert_eq!(effective_threads(), before, "override leaked after panic");
+        with_threads(3, || {
+            let inner = std::panic::catch_unwind(|| {
+                with_threads(9, || {
+                    panic!("boom");
+                })
+            });
+            assert!(inner.is_err());
+            assert_eq!(effective_threads(), 3, "nested override leaked");
+        });
+    }
+
+    #[test]
+    fn serial_threshold_resolution_nests_and_restores() {
+        with_serial_threshold(0, || {
+            assert_eq!(effective_serial_threshold_ns(), 0);
+            with_serial_threshold(50, || assert_eq!(effective_serial_threshold_ns(), 50));
+            assert_eq!(effective_serial_threshold_ns(), 0);
+        });
+    }
+
+    #[test]
+    fn pool_reuses_the_same_worker_threads() {
+        let ids = || {
+            with_serial_threshold(0, || {
+                with_threads(4, || par_map(&[(); 64], |_, _| std::thread::current().id()))
+            })
+        };
+        let first = ids();
+        let second = ids();
+        // Chunk i is statically assigned to pool worker i-1, so two
+        // consecutive fan-outs at the same width observe the exact
+        // same OS threads — no spawn per fan-out, no pool growth.
+        assert_eq!(first, second, "fan-outs must reuse pool workers");
+        assert_eq!(
+            first[0],
+            std::thread::current().id(),
+            "chunk 0 runs on the caller"
+        );
+        assert!(pool::pool_size() >= 3, "a 4-way fan-out keeps 3 workers");
+    }
+
+    #[test]
+    fn pool_worker_panics_propagate_and_leave_the_pool_usable() {
+        let caught = std::panic::catch_unwind(|| {
+            with_serial_threshold(0, || {
+                with_threads(4, || {
+                    par_map(&[0u8; 64], |i, _| {
+                        if i >= 48 {
+                            panic!("chunk panic");
+                        }
+                        i
+                    })
+                })
+            })
+        });
+        let payload = caught.expect_err("a pool-worker panic must reach the caller");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "chunk panic");
+        // The worker that caught the panic keeps serving fan-outs.
+        let sum = with_serial_threshold(0, || with_threads(4, || par_sum_u64(64, |i| i as u64)));
+        assert_eq!(sum, (0..64u64).sum::<u64>());
+    }
+
+    #[test]
+    fn nested_fanouts_flatten_to_serial_inside_pool_chunks() {
+        let out = with_serial_threshold(0, || {
+            with_threads(4, || {
+                par_map(&[10u64, 20, 30, 40], |_, &x| {
+                    let me = std::thread::current().id();
+                    assert_eq!(effective_threads(), 1, "chunks must see a serial world");
+                    let inner =
+                        par_map(&[1u64, 2, 3], |_, &y| (x + y, std::thread::current().id()));
+                    assert!(
+                        inner.iter().all(|&(_, id)| id == me),
+                        "nested fan-out left its worker"
+                    );
+                    inner.into_iter().map(|(v, _)| v).sum::<u64>()
+                })
+            })
+        });
+        assert_eq!(out, vec![36, 66, 96, 126]);
+    }
+
+    #[test]
+    fn sub_threshold_fanouts_run_serially_on_the_caller() {
+        let me = std::thread::current().id();
+        // A huge threshold forces the probe's serial verdict no matter
+        // how slow the host is.
+        let ids = with_serial_threshold(u64::MAX, || {
+            with_threads(4, || {
+                par_map(&[0u8; 64], |_, _| std::thread::current().id())
+            })
+        });
+        assert!(
+            ids.iter().all(|&id| id == me),
+            "sub-threshold work left the caller"
+        );
+    }
+
+    #[test]
+    fn serial_fanouts_count_separately_from_pool_fanouts() {
+        use leo_obs::metrics;
+        leo_obs::set_enabled(true);
+        let serial0 = metrics::counter_value("parallel.serial_calls");
+        let _ = with_threads(1, || par_map(&[1u64; 10], |_, &x| x));
+        let _ = with_threads(4, || par_sum_u64(1, |i| i as u64));
+        assert!(
+            metrics::counter_value("parallel.serial_calls") >= serial0 + 2,
+            "one-worker and one-item executions must count as serial"
+        );
     }
 
     #[test]
@@ -431,13 +709,13 @@ mod tests {
         let items0 = metrics::counter_value("parallel.items");
         let chunks0 = metrics::counter_value("parallel.chunks");
         let items: Vec<u64> = (0..100).collect();
-        let _ = with_threads(4, || par_map(&items, |_, &x| x + 1));
+        let _ = with_serial_threshold(0, || with_threads(4, || par_map(&items, |_, &x| x + 1)));
         assert!(metrics::counter_value("parallel.par_map_calls") > calls0);
         assert!(metrics::counter_value("parallel.items") >= items0 + 100);
         // 100 items across 4 workers → at least 4 more chunks.
         assert!(metrics::counter_value("parallel.chunks") >= chunks0 + 4);
         let sums0 = metrics::counter_value("parallel.par_sum_calls");
-        let _ = with_threads(2, || par_sum_u64(10, |i| i as u64));
+        let _ = with_serial_threshold(0, || with_threads(2, || par_sum_u64(10, |i| i as u64)));
         assert!(metrics::counter_value("parallel.par_sum_calls") > sums0);
     }
 
@@ -449,7 +727,7 @@ mod tests {
         // (78,103); a length no other test uses, so concurrent tests
         // recording chunks cannot alias these ranges.
         let items: Vec<u64> = (0..103).collect();
-        let _ = with_threads(4, || par_map(&items, |_, &x| x + 1));
+        let _ = with_serial_threshold(0, || with_threads(4, || par_map(&items, |_, &x| x + 1)));
         let lanes = leo_trace::snapshot();
         let chunk_on = |label: &str, lo: u64, hi: u64| {
             lanes.iter().any(|lane| {

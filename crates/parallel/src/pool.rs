@@ -1,0 +1,248 @@
+//! Persistent worker pool: the process-wide threads behind [`par_map`]
+//! and [`par_sum_u64`].
+//!
+//! The first fan-out that needs `k` chunks spawns pool workers
+//! `0..k-1` lazily (chunk 0 always runs on the calling thread); every
+//! later fan-out reuses them, so dispatch costs one mailbox push and a
+//! condvar wake — microseconds — instead of OS-thread creation and
+//! join. Paying the spawn/join on *every* fan-out, hundreds of times
+//! per paper-scale run, is what made `--threads 4` slower than
+//! `--threads 1` before this module existed.
+//!
+//! Chunk `i` of a fan-out always runs on pool worker `i - 1` (each
+//! worker has its own mailbox). The static assignment keeps the
+//! `leo-trace` `worker-<i>` lanes pinned to real, reused OS threads
+//! (lane `worker-0` is the calling thread), and makes reuse assertable:
+//! consecutive fan-outs at the same width observe the same
+//! [`std::thread::ThreadId`]s.
+//!
+//! While any chunk runs — on a pool worker or on the caller — the
+//! thread-local thread-count override is forced to 1, so a nested
+//! fan-out inside a chunk executes serially instead of oversubscribing
+//! the host (under the old scoped-thread scheme workers inherited the
+//! caller's width, and a fan-out inside a fan-out could stack
+//! `workers × workers` fresh threads).
+//!
+//! A panic inside a chunk is caught on the executing thread, recorded
+//! in the job, and resumed on the fan-out's caller only after every
+//! chunk has finished. Pool workers therefore never die, and — the
+//! safety invariant the lifetime erasure below rests on — the job's
+//! borrowed task can never be observed by a worker after
+//! [`run_chunks`] returns.
+//!
+//! [`par_map`]: crate::par_map
+//! [`par_sum_u64`]: crate::par_sum_u64
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// `Mutex::lock` that shrugs off poisoning: every critical section in
+/// this module is a plain field assignment and cannot panic, and the
+/// chunk tasks themselves run outside any lock.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One fan-out in flight: the lifetime-erased chunk task plus the
+/// rendezvous state its caller blocks on.
+struct Job {
+    /// Points at the closure held on the caller's stack frame. Only
+    /// dereferenced by [`Job::run`], which can only execute while
+    /// `pending > 0`; [`run_chunks`] does not return until `pending`
+    /// reaches zero, so the referent is always alive when read.
+    task: *const (dyn Fn(usize) + Sync),
+    /// Chunks not yet finished (counts the caller's chunk 0 too).
+    pending: Mutex<usize>,
+    /// Signalled when `pending` reaches zero.
+    done: Condvar,
+    /// First panic payload caught in any chunk; resumed on the caller.
+    panic: Mutex<Option<PanicPayload>>,
+}
+
+// SAFETY: `task` targets a `Sync` closure, so sharing and calling it
+// from several threads is sound; the pointer is only dereferenced
+// while the owning `run_chunks` frame keeps the closure alive (see the
+// field docs). Workers may hold a dangling `Arc<Job>` briefly after
+// the caller returns, but a raw pointer — unlike a reference — is
+// allowed to dangle as long as it is not dereferenced.
+#[allow(unsafe_code)]
+unsafe impl Send for Job {}
+#[allow(unsafe_code)]
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Executes one chunk with nested fan-outs forced serial, catches
+    /// any panic into the job's panic slot, then signals completion.
+    fn run(&self, chunk: usize) {
+        // SAFETY: `pending` still counts this chunk, so the caller of
+        // `run_chunks` is blocked (or about to block) in its
+        // rendezvous and the closure is alive.
+        #[allow(unsafe_code)]
+        let task = unsafe { &*self.task };
+        let outcome = catch_unwind(AssertUnwindSafe(|| crate::with_threads(1, || task(chunk))));
+        if let Err(payload) = outcome {
+            let mut slot = lock(&self.panic);
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        let mut pending = lock(&self.pending);
+        *pending -= 1;
+        if *pending == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// One worker's inbox of `(job, chunk index)` assignments.
+struct Mailbox {
+    queue: Mutex<VecDeque<(Arc<Job>, usize)>>,
+    ready: Condvar,
+}
+
+/// Every pool worker spawned so far, in index order. Workers live for
+/// the rest of the process — there is no shutdown path, matching the
+/// CLI's run-to-exit lifecycle and keeping the reuse contract trivial.
+static POOL: Mutex<Vec<Arc<Mailbox>>> = Mutex::new(Vec::new());
+
+/// Mirror of `POOL.len()` readable without the lock.
+static POOL_SIZE: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of persistent pool workers spawned so far (process-wide and
+/// monotone; the calling thread of a fan-out is not counted). A
+/// `--threads N` run settles at `N - 1`.
+pub fn pool_size() -> usize {
+    POOL_SIZE.load(Ordering::Relaxed)
+}
+
+/// Spawns the pool workers a `threads`-wide fan-out will use, so the
+/// first paper-scale fan-out doesn't pay thread creation. The CLI
+/// calls this once, right after resolving `--threads`.
+pub fn prewarm(threads: usize) {
+    ensure_workers(threads.saturating_sub(1));
+}
+
+fn worker_loop(mailbox: &Mailbox) {
+    loop {
+        let (job, chunk) = {
+            let mut queue = lock(&mailbox.queue);
+            loop {
+                if let Some(next) = queue.pop_front() {
+                    break next;
+                }
+                queue = wait(&mailbox.ready, queue);
+            }
+        };
+        job.run(chunk);
+    }
+}
+
+/// Ensures workers `0..n` exist, spawning only the missing ones.
+fn ensure_workers(n: usize) {
+    if POOL_SIZE.load(Ordering::Relaxed) >= n {
+        return;
+    }
+    let mut pool = lock(&POOL);
+    while pool.len() < n {
+        let mailbox = Arc::new(Mailbox {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        });
+        let theirs = Arc::clone(&mailbox);
+        std::thread::Builder::new()
+            .name(format!("leo-par-{}", pool.len()))
+            .spawn(move || worker_loop(&theirs))
+            .expect("spawn pool worker");
+        pool.push(mailbox);
+        if leo_obs::enabled() {
+            leo_obs::metrics::counter_add("parallel.pool_spawned_threads", 1);
+        }
+    }
+    POOL_SIZE.store(pool.len(), Ordering::Relaxed);
+    if leo_obs::enabled() {
+        leo_obs::metrics::gauge_set("parallel.pool_size", pool.len() as f64);
+    }
+}
+
+/// Runs `task(i)` for every chunk index `0..n_chunks` — chunk 0 on the
+/// calling thread, chunk `i` on pool worker `i - 1` — and returns once
+/// all of them have finished. A panic in any chunk (including the
+/// caller's own) resumes on the caller after the rendezvous, so no
+/// chunk's completion is ever skipped.
+pub(crate) fn run_chunks(n_chunks: usize, task: &(dyn Fn(usize) + Sync)) {
+    debug_assert!(n_chunks >= 1);
+    ensure_workers(n_chunks.saturating_sub(1));
+    // SAFETY (lifetime erasure): the raw pointer is only dereferenced
+    // by `Job::run` while `pending > 0`, and this function only
+    // returns — normally or by `resume_unwind` — after the rendezvous
+    // below observed `pending == 0`. The caller's own chunk runs
+    // through `Job::run` too, so even its panic is deferred past the
+    // rendezvous. `task` therefore strictly outlives every dereference.
+    #[allow(unsafe_code)]
+    let task: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
+    let job = Arc::new(Job {
+        task,
+        pending: Mutex::new(n_chunks),
+        done: Condvar::new(),
+        panic: Mutex::new(None),
+    });
+    if n_chunks > 1 {
+        let pool = lock(&POOL);
+        for chunk in 1..n_chunks {
+            let mailbox = &pool[chunk - 1];
+            lock(&mailbox.queue).push_back((Arc::clone(&job), chunk));
+            mailbox.ready.notify_one();
+        }
+    }
+    job.run(0);
+    let mut pending = lock(&job.pending);
+    while *pending > 0 {
+        pending = wait(&job.done, pending);
+    }
+    drop(pending);
+    let panicked = lock(&job.panic).take();
+    if let Some(payload) = panicked {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn run_chunks_executes_every_chunk_exactly_once() {
+        let hits: Vec<AtomicU64> = (0..6).map(|_| AtomicU64::new(0)).collect();
+        run_chunks(6, &|w| {
+            hits[w].fetch_add(1, Ordering::SeqCst);
+        });
+        for (w, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::SeqCst), 1, "chunk {w}");
+        }
+    }
+
+    #[test]
+    fn single_chunk_runs_on_the_caller() {
+        let caller = std::thread::current().id();
+        let seen = Mutex::new(None);
+        run_chunks(1, &|_| {
+            *lock(&seen) = Some(std::thread::current().id());
+        });
+        assert_eq!(lock(&seen).take(), Some(caller));
+    }
+
+    #[test]
+    fn prewarm_spawns_workers_up_front() {
+        prewarm(3);
+        assert!(pool_size() >= 2, "prewarm(3) keeps >= 2 pool workers");
+    }
+}

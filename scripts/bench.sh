@@ -7,6 +7,13 @@
 # number, not an anecdote. Extra warm runs at 4 threads (best of 3,
 # --trace vs plain) record the timeline recorder's overhead.
 #
+# The JSON also records `thread_scaling` — the threads_4/threads_1
+# wall-clock ratios (cold and warm). On hosts with >= 4 cores a ratio
+# >= 1.0 means adding workers made the run *slower* (the negative
+# scaling bug ROADMAP item 1 tracked) and the script fails; set
+# BENCH_SCALING_SKIP=1 to bypass on a loaded or shared box. Below 4
+# cores the check is skipped: the ratio is recorded but meaningless.
+#
 # Usage:
 #   scripts/bench.sh          regenerate BENCH_tier1.json
 #   scripts/bench.sh --gate   regenerate, then `divide report` the new
@@ -90,6 +97,14 @@ warm = result["runs"]["threads_4"]
 # Informational (not a *_ms key pair the gate compares): tracing's cost
 # relative to the identical untraced warm run, best of 3 each.
 warm["trace_overhead_pct"] = round(100.0 * (traced - plain) / plain, 2)
+# Thread scaling: 4-thread wall over 1-thread wall. < 1.0 means the
+# worker pool is paying off; >= 1.0 is the negative-scaling regression
+# the pool was built to fix (gated below on hosts with enough cores).
+t1, t4 = result["runs"]["threads_1"], result["runs"]["threads_4"]
+result["thread_scaling"] = {
+    "cold": round(t4["cold_wall_ms"] / t1["cold_wall_ms"], 4),
+    "warm": round(t4["warm_wall_ms"] / t1["warm_wall_ms"], 4),
+}
 with open(out_path, "w") as f:
     json.dump(result, f, indent=2)
     f.write("\n")
@@ -97,8 +112,31 @@ for name, run in result["runs"].items():
     print(f"[bench] {name}: cold {run['cold_wall_ms']:.0f} ms, "
           f"warm {run['warm_wall_ms']:.0f} ms ({run['warm_speedup']:.2f}x)")
 print(f"[bench] trace overhead at 4 threads: {warm['trace_overhead_pct']:+.1f}%")
+scaling = result["thread_scaling"]
+print(f"[bench] thread scaling (threads_4 / threads_1): "
+      f"cold {scaling['cold']:.2f}x, warm {scaling['warm']:.2f}x")
 print(f"[bench] wrote {out_path}")
 PY
+
+# Negative-scaling gate: with >= 4 physical cores, 4 threads must beat
+# 1 thread on both the cold and warm paper-scale runs.
+cores="$(nproc 2>/dev/null || echo 1)"
+if [ "${BENCH_SCALING_SKIP:-0}" = "1" ]; then
+    echo "[bench] BENCH_SCALING_SKIP=1: thread-scaling gate skipped"
+elif [ "$cores" -ge 4 ]; then
+    python3 - BENCH_tier1.json <<'PY'
+import json, sys
+
+scaling = json.load(open(sys.argv[1]))["thread_scaling"]
+bad = {k: v for k, v in scaling.items() if v >= 1.0}
+if bad:
+    sys.exit(f"[bench] negative thread scaling: {bad} "
+             "(threads_4 should be faster; BENCH_SCALING_SKIP=1 to bypass)")
+print("[bench] thread-scaling gate passed: 4 threads beat 1 thread")
+PY
+else
+    echo "[bench] $cores core(s) < 4: thread-scaling gate skipped (ratio recorded only)"
+fi
 
 if [ $gate -eq 1 ]; then
     if [ -s "$work/baseline.json" ]; then

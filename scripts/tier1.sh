@@ -28,6 +28,18 @@ for f in fig1_cdf.csv fig2_sweep.csv fig3_tail.csv fig4_affordability.csv table2
     [ -s "$out/$f" ] || { echo "[tier1] missing artifact: $f" >&2; exit 1; }
 done
 
+# At small scale every fan-out is tiny, so the serial-threshold probe
+# (or a 1-thread host) must route at least some of them off the pool —
+# and account for them under the dedicated serial counter. Read this
+# manifest now: the fig2 run below overwrites it.
+python3 - "$out/run_manifest.json" <<'PY'
+import json, sys
+
+counters = json.load(open(sys.argv[1]))["metrics"]["counters"]
+assert counters.get("parallel.serial_calls", 0) >= 1, counters
+print("[tier1] serial fan-outs accounted under parallel.serial_calls")
+PY
+
 echo "[tier1] divide fig2 --quiet --metrics-out writes a valid bench record"
 bench="$out/BENCH_fig2.json"
 quiet_err="$out/quiet_stderr.txt"
@@ -108,6 +120,10 @@ diff -r --exclude run_manifest.json "$cold" "$nocache" \
 echo "[tier1] --trace writes a valid Chrome trace without touching artifacts"
 traced="$(mktemp -d)"
 trap 'rm -rf "$out" "$cachedir" "$cold" "$warm" "$nocache" "$traced"' EXIT
+# Threshold 0 disables the serial-threshold probe so every fan-out is
+# forced through the pool — worker lanes must exist however fast the
+# host runs small-scale chunks.
+DIVIDE_PAR_THRESHOLD_NS=0 \
 ./target/release/divide --scale small all --out "$traced" --no-cache \
     --threads 4 --trace -q
 diff -r --exclude run_manifest.json --exclude trace.json --exclude trace.folded \
@@ -146,6 +162,14 @@ assert all(v == 0 for v in balance.values()), f"unbalanced B/E: {balance}"
 # Folded stacks must agree with the manifest's span totals (<=1% or
 # 50 us of slack; the shared-timestamp design makes it exact today).
 manifest = json.load(open(f"{traced}/run_manifest.json"))
+
+# The worker pool must have been exercised and measured: pooled
+# fan-outs counted, >= 4 chunks dispatched, and --threads 4 having
+# spawned the 3 persistent workers behind lanes worker-1..worker-3.
+counters = manifest["metrics"]["counters"]
+assert counters.get("parallel.par_map_calls", 0) >= 1, counters
+assert counters.get("parallel.chunks", 0) >= 4, counters
+assert counters.get("parallel.pool_spawned_threads", 0) >= 3, counters
 folded = collections.defaultdict(int)
 for line in open(f"{traced}/trace.folded"):
     stack, ns = line.rsplit(" ", 1)
