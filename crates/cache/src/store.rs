@@ -217,6 +217,11 @@ impl SnapshotStore {
                 return None;
             }
         };
+        // The io.* family counts physical file traffic (container
+        // bytes, i.e. what actually crossed the filesystem), while the
+        // cache.* counters keep their original payload semantics.
+        leo_obs::metrics::counter_add("io.read_calls", 1);
+        leo_obs::metrics::counter_add("io.bytes_read", bytes.len() as u64);
         match decode_container(schema, key, &bytes) {
             Ok(payload) => {
                 leo_obs::metrics::counter_add("cache.hit", 1);
@@ -262,6 +267,8 @@ impl SnapshotStore {
             return;
         }
         leo_obs::metrics::counter_add("cache.bytes_written", payload.len() as u64);
+        leo_obs::metrics::counter_add("io.write_calls", 1);
+        leo_obs::metrics::counter_add("io.bytes_written", bytes.len() as u64);
     }
 }
 
@@ -282,6 +289,27 @@ mod tests {
         let payload = b"hello snapshot world".to_vec();
         store.save("t", 0xABCD, SCHEMA_VERSION, &payload);
         assert_eq!(store.load("t", 0xABCD, SCHEMA_VERSION), Some(payload));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn io_counters_track_container_traffic() {
+        let store = tmp_store("iocounters");
+        let before_w = leo_obs::metrics::counter_value("io.bytes_written");
+        let before_wc = leo_obs::metrics::counter_value("io.write_calls");
+        store.save("t", 0x10, SCHEMA_VERSION, b"payload under io accounting");
+        let container_len = fs::read(store.path_for("t", 0x10)).unwrap().len() as u64;
+        assert!(container_len > b"payload under io accounting".len() as u64);
+        assert!(leo_obs::metrics::counter_value("io.write_calls") > before_wc);
+        assert!(
+            leo_obs::metrics::counter_value("io.bytes_written") >= before_w + container_len,
+            "io.bytes_written counts container bytes, not payload bytes"
+        );
+        let before_r = leo_obs::metrics::counter_value("io.bytes_read");
+        let before_rc = leo_obs::metrics::counter_value("io.read_calls");
+        assert!(store.load("t", 0x10, SCHEMA_VERSION).is_some());
+        assert!(leo_obs::metrics::counter_value("io.read_calls") > before_rc);
+        assert!(leo_obs::metrics::counter_value("io.bytes_read") >= before_r + container_len);
         let _ = fs::remove_dir_all(store.dir());
     }
 

@@ -1,0 +1,385 @@
+//! `divide history` — trend tables and the median-based regression
+//! gate over the run-history ledger.
+//!
+//! Where `divide report` diffs exactly two records pairwise, `history`
+//! reads the append-only `runs.jsonl` ledger (`leo-obs/run-ledger/v1`,
+//! see `leo_obs::ledger`), filters it to runs *comparable* with the
+//! newest one (same command, scale, and thread count), and renders one
+//! trend row per metric — per-stage and total wall-clock, per-stage
+//! and run-level peak heap, peak RSS — with min/median/max over the
+//! window, an ASCII sparkline, and the newest run's delta against the
+//! **median of its predecessors**. A median baseline makes the gate
+//! robust to a single outlier run in either direction, which pairwise
+//! diffing is not.
+//!
+//! Exit codes mirror `report`: 0 ok (including "not enough history to
+//! judge"), 3 when any metric regressed beyond `--max-regress-pct`,
+//! 1 on IO/parse errors, 2 on usage errors (handled by the caller).
+
+use leo_obs::json::Json;
+use leo_obs::ledger;
+use leo_report::{sparkline, TextTable};
+use std::path::PathBuf;
+
+/// Exit code when at least one metric regressed beyond the threshold.
+pub const EXIT_REGRESSED: i32 = 3;
+
+/// Parsed `divide history` options.
+pub struct HistoryOpts {
+    /// The ledger file (`--ledger`, or the resolved cache directory's
+    /// `runs.jsonl`).
+    pub ledger: PathBuf,
+    /// Window size: the newest run gates against the median of up to
+    /// this many predecessors.
+    pub last: usize,
+    /// A metric regresses when the newest run exceeds the prior
+    /// median by more than this percentage.
+    pub max_regress_pct: f64,
+    /// Wall-clock metrics below this in both newest and median never
+    /// gate.
+    pub min_wall_ms: f64,
+}
+
+/// Memory metrics below these floors never gate: at a few hundred kB
+/// of heap or a few MB of RSS, allocator and kernel bookkeeping noise
+/// swamps any real signal (the wall-clock floor is `--min-wall-ms`).
+const MIN_HEAP_BYTES: f64 = 1024.0 * 1024.0;
+const MIN_RSS_KB: f64 = 4096.0;
+
+/// How a metric's values are scaled and floored.
+#[derive(Clone, Copy, PartialEq)]
+enum Unit {
+    Ms,
+    Bytes,
+    Kb,
+}
+
+impl Unit {
+    fn floor(self, opts: &HistoryOpts) -> f64 {
+        match self {
+            Unit::Ms => opts.min_wall_ms,
+            Unit::Bytes => MIN_HEAP_BYTES,
+            Unit::Kb => MIN_RSS_KB,
+        }
+    }
+
+    /// Renders a value in the unit's display scale (ms, MiB, MB).
+    fn fmt(self, v: f64) -> String {
+        if !v.is_finite() {
+            return "-".to_string();
+        }
+        match self {
+            Unit::Ms => format!("{v:.2}"),
+            Unit::Bytes => format!("{:.1}", v / (1024.0 * 1024.0)),
+            Unit::Kb => format!("{:.1}", v / 1024.0),
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Unit::Ms => "ms",
+            Unit::Bytes => "MiB",
+            Unit::Kb => "MB rss",
+        }
+    }
+}
+
+/// One trend row: a metric's value in each comparable run, oldest
+/// first (NaN where a run lacks the field).
+struct Metric {
+    name: String,
+    unit: Unit,
+    values: Vec<f64>,
+}
+
+fn stage_field(rec: &Json, stage: &str, field: &str) -> f64 {
+    rec.get("stages")
+        .and_then(|s| s.get(stage))
+        .and_then(|s| s.get(field))
+        .and_then(Json::as_f64)
+        .unwrap_or(f64::NAN)
+}
+
+fn top_field(rec: &Json, field: &str) -> f64 {
+    rec.get(field).and_then(Json::as_f64).unwrap_or(f64::NAN)
+}
+
+/// The stage names of a record, in ledger (insertion) order.
+fn stage_names(rec: &Json) -> Vec<String> {
+    match rec.get("stages") {
+        Some(Json::Obj(fields)) => fields.iter().map(|(name, _)| name.clone()).collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Builds the metric rows for `runs` (comparable, oldest first). The
+/// newest run's stages define which per-stage rows exist; memory rows
+/// appear only where some run actually measured them.
+fn metrics_of(runs: &[&Json]) -> Vec<Metric> {
+    let newest = runs.last().expect("at least one run");
+    let mut metrics = Vec::new();
+    let column = |f: &dyn Fn(&Json) -> f64| runs.iter().map(|r| f(r)).collect::<Vec<f64>>();
+    for stage in stage_names(newest) {
+        metrics.push(Metric {
+            name: format!("{stage} wall"),
+            unit: Unit::Ms,
+            values: column(&|r| stage_field(r, &stage, "wall_ms")),
+        });
+    }
+    metrics.push(Metric {
+        name: "total wall".to_string(),
+        unit: Unit::Ms,
+        values: column(&|r| top_field(r, "wall_ms")),
+    });
+    for stage in stage_names(newest) {
+        let values = column(&|r| stage_field(r, &stage, "peak_heap_delta"));
+        if values.iter().any(|v| v.is_finite()) {
+            metrics.push(Metric {
+                name: format!("{stage} peak heap"),
+                unit: Unit::Bytes,
+                values,
+            });
+        }
+    }
+    for (name, field, unit) in [
+        ("run peak heap", "peak_heap_bytes", Unit::Bytes),
+        ("run peak rss", "peak_rss_kb", Unit::Kb),
+    ] {
+        let values = column(&|r| top_field(r, field));
+        if values.iter().any(|v| v.is_finite()) {
+            metrics.push(Metric {
+                name: name.to_string(),
+                unit,
+                values,
+            });
+        }
+    }
+    metrics
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// A short identity string for the header: command/scale/threads of
+/// the newest run.
+fn identity(rec: &Json) -> String {
+    format!(
+        "{} --scale {} ({} threads)",
+        rec.get("command").and_then(Json::as_str).unwrap_or("?"),
+        rec.get("scale").and_then(Json::as_str).unwrap_or("?"),
+        rec.get("threads")
+            .and_then(Json::as_u64)
+            .map_or("?".to_string(), |t| t.to_string()),
+    )
+}
+
+fn same_identity(a: &Json, b: &Json) -> bool {
+    for key in ["command", "scale"] {
+        if a.get(key).and_then(Json::as_str) != b.get(key).and_then(Json::as_str) {
+            return false;
+        }
+    }
+    a.get("threads").and_then(Json::as_u64) == b.get("threads").and_then(Json::as_u64)
+}
+
+/// Runs `divide history`; returns the process exit code.
+pub fn run(opts: &HistoryOpts) -> i32 {
+    let all = match ledger::read(&opts.ledger) {
+        Ok(records) => records,
+        Err(e) => {
+            eprintln!("divide history: cannot read {}: {e}", opts.ledger.display());
+            return 1;
+        }
+    };
+    let all: Vec<Json> = all
+        .into_iter()
+        .filter(|r| r.get("schema").and_then(Json::as_str) == Some(ledger::SCHEMA))
+        .collect();
+    let Some(newest) = all.last() else {
+        println!(
+            "divide history: {} holds no {} records yet",
+            opts.ledger.display(),
+            ledger::SCHEMA
+        );
+        return 0;
+    };
+
+    // Comparable runs: same command/scale/threads as the newest, the
+    // newest itself last; window = up to `last` predecessors + newest.
+    let comparable: Vec<&Json> = all.iter().filter(|r| same_identity(r, newest)).collect();
+    let skipped = all.len() - comparable.len();
+    let window_start = comparable.len().saturating_sub(opts.last + 1);
+    let runs = &comparable[window_start..];
+
+    let mut table = TextTable::new(
+        format!(
+            "divide history: {} — {} over {} run(s){} (gate: newest > prior median +{:.0}%)",
+            opts.ledger.display(),
+            identity(newest),
+            runs.len(),
+            if skipped > 0 {
+                format!(", {skipped} other run(s) ignored")
+            } else {
+                String::new()
+            },
+            opts.max_regress_pct,
+        ),
+        &[
+            "metric",
+            "unit",
+            "runs",
+            "min",
+            "median",
+            "max",
+            "newest",
+            "vs median",
+            "trend",
+            "status",
+        ],
+    );
+
+    let mut regressed = 0usize;
+    let gate_possible = runs.len() >= 2;
+    for metric in metrics_of(runs) {
+        let newest_v = *metric.values.last().expect("window non-empty");
+        let mut prior: Vec<f64> = metric.values[..metric.values.len() - 1]
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .collect();
+        prior.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let med = median(&prior);
+        let finite: Vec<f64> = metric
+            .values
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .collect();
+        let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let floor = metric.unit.floor(opts);
+        let (delta, status) = if !newest_v.is_finite() {
+            ("-".to_string(), "no data")
+        } else if prior.is_empty() {
+            ("-".to_string(), "first run")
+        } else if newest_v < floor && med < floor {
+            let pct = if med > 0.0 {
+                100.0 * (newest_v - med) / med
+            } else {
+                0.0
+            };
+            (format!("{pct:+.1}%"), "below floor")
+        } else {
+            let pct = if med > 0.0 {
+                100.0 * (newest_v - med) / med
+            } else {
+                0.0
+            };
+            let status = if pct > opts.max_regress_pct {
+                regressed += 1;
+                "REGRESSED"
+            } else if pct < -opts.max_regress_pct {
+                "improved"
+            } else {
+                "ok"
+            };
+            (format!("{pct:+.1}%"), status)
+        };
+        table.row(&[
+            metric.name.clone(),
+            metric.unit.label().to_string(),
+            finite.len().to_string(),
+            metric.unit.fmt(min),
+            metric.unit.fmt(med),
+            metric.unit.fmt(max),
+            metric.unit.fmt(newest_v),
+            delta,
+            sparkline(&metric.values),
+            status.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+
+    if !gate_possible {
+        println!("divide history: fewer than 2 comparable runs — nothing to gate against");
+        return 0;
+    }
+    if regressed > 0 {
+        eprintln!(
+            "divide history: {regressed} metric(s) regressed beyond +{:.0}% of the prior median",
+            opts.max_regress_pct
+        );
+        EXIT_REGRESSED
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_even_and_odd_windows() {
+        assert_eq!(median(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+        assert!(median(&[]).is_nan());
+    }
+
+    fn rec(command: &str, wall: f64, heap: u64) -> Json {
+        Json::obj()
+            .set("schema", ledger::SCHEMA)
+            .set("command", command)
+            .set("scale", "small")
+            .set("threads", 2u64)
+            .set("wall_ms", wall)
+            .set(
+                "stages",
+                Json::obj().set(
+                    "dataset",
+                    Json::obj()
+                        .set("wall_ms", wall / 2.0)
+                        .set("alloc_bytes", heap)
+                        .set("alloc_count", 10u64)
+                        .set("peak_heap_delta", heap),
+                ),
+            )
+            .set("peak_heap_bytes", heap)
+    }
+
+    #[test]
+    fn metric_rows_cover_stages_and_run_level() {
+        let a = rec("all", 100.0, 50 << 20);
+        let b = rec("all", 110.0, 51 << 20);
+        let runs = vec![&a, &b];
+        let metrics = metrics_of(&runs);
+        let names: Vec<&str> = metrics.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "dataset wall",
+                "total wall",
+                "dataset peak heap",
+                "run peak heap",
+            ]
+        );
+        assert_eq!(metrics[0].values, vec![50.0, 55.0]);
+    }
+
+    #[test]
+    fn identity_filter_separates_commands() {
+        let a = rec("all", 100.0, 1);
+        let b = rec("fig2", 5.0, 1);
+        assert!(same_identity(&a, &a));
+        assert!(!same_identity(&a, &b));
+    }
+}

@@ -28,6 +28,8 @@
 //!   export          dataset CSV export
 //!   all             everything above
 //!   report          diff two run manifests; exit 3 on perf regression
+//!   history         trend tables over the run ledger; exit 3 on
+//!                   regression vs the prior median
 //! ```
 //!
 //! Text renders to stdout; CSV and SVG artifacts land in the output
@@ -37,6 +39,7 @@
 //! through the leveled `leo-obs` logger (`DIVIDE_LOG`, `--quiet`,
 //! `-v`); none of the instrumentation ever changes artifact bytes.
 
+mod history_cmd;
 mod report_cmd;
 
 use leo_cache::DatasetCache;
@@ -48,6 +51,25 @@ use starlink_divide::{
 };
 use std::path::{Path, PathBuf};
 use std::time::Instant;
+
+/// The tracking allocator wrapping `std::alloc::System`. Tracking is
+/// off until `main` turns it on (observability enabled and
+/// `DIVIDE_ALLOC` not `off`), so the disabled path costs one relaxed
+/// load per allocation.
+#[global_allocator]
+static ALLOC: leo_alloc::TrackingAlloc = leo_alloc::TrackingAlloc::new();
+
+/// Adapts `leo_alloc` counters to the `leo-obs` hook shape.
+fn alloc_reading() -> leo_obs::resource::AllocReading {
+    let s = leo_alloc::stats();
+    leo_obs::resource::AllocReading {
+        alloc_calls: s.alloc_calls,
+        dealloc_calls: s.dealloc_calls,
+        allocated_bytes: s.allocated_bytes,
+        current_bytes: s.current_bytes,
+        peak_bytes: s.peak_bytes,
+    }
+}
 
 /// The full command list, kept in one place so `--help` and genuine
 /// usage errors can never drift apart (or omit a command, as an earlier
@@ -84,12 +106,26 @@ report options:
   --min-wall-ms MS     ignore stages faster than MS in both runs (5)
   --report-csv FILE    also write the comparison table as CSV
 
+history options:
+  --ledger FILE        run ledger to read (default: runs.jsonl in the
+                       resolved cache directory)
+  --last N             gate the newest run against the median of up to
+                       N predecessors (default 10)
+  --max-regress-pct P  fail when the newest run exceeds the prior
+                       median by more than P% (20)
+  --min-wall-ms MS     wall-clock floor below which metrics never
+                       gate (5)
+
 environment:
   DIVIDE_LOG           stderr threshold: error|warn|info|debug
   DIVIDE_OBS           off|0|false disables spans/metrics collection
   DIVIDE_CACHE         snapshot cache directory; 'off' disables caching
   DIVIDE_TRACE         1 enables tracing, or a path for the trace file
   DIVIDE_PROGRESS      'force' shows --progress without a TTY
+  DIVIDE_ALLOC         off|0|false disables allocation tracking (heap
+                       telemetry in manifest, ledger, and trace)
+  DIVIDE_LEDGER        run-ledger destination; 'off' disables the
+                       append (default: <cache>/runs.jsonl)
 
 commands:
   table1          single-satellite capacity model
@@ -110,7 +146,10 @@ commands:
   export          dataset CSV export
   all             everything above
   report          diff two run manifests / bench records; exit 3 on
-                  perf regression (see report options)";
+                  perf regression (see report options)
+  history         per-stage wall/memory trend tables over the run
+                  ledger; exit 3 when the newest run regresses vs the
+                  prior median (see history options)";
 
 /// Prints the help to stdout and exits 0 (`-h`/`--help`).
 fn help() -> ! {
@@ -145,6 +184,8 @@ fn main() {
         min_wall_ms: 5.0,
         csv_out: None,
     };
+    let mut ledger_flag: Option<PathBuf> = None;
+    let mut history_last: usize = 10;
     let mut command = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -217,6 +258,19 @@ fn main() {
                         .unwrap_or_else(|| usage("--report-csv needs a value")),
                 ))
             }
+            "--ledger" => {
+                ledger_flag = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| usage("--ledger needs a value")),
+                ))
+            }
+            "--last" => {
+                let v = args.next().unwrap_or_else(|| usage("--last needs a value"));
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => history_last = n,
+                    _ => usage("--last expects a positive integer"),
+                }
+            }
             "--quiet" | "-q" => leo_obs::log::set_level(leo_obs::log::Level::Warn),
             "-v" | "--verbose" => leo_obs::log::set_level(leo_obs::log::Level::Debug),
             "-h" | "--help" => help(),
@@ -257,6 +311,7 @@ fn main() {
         "export",
         "all",
         "report",
+        "history",
     ];
     if !COMMANDS.contains(&command.as_str()) {
         usage(&format!("unknown command {command:?}"));
@@ -271,6 +326,26 @@ fn main() {
             usage("report needs --candidate FILE");
         }
         std::process::exit(report_cmd::run(&report));
+    }
+    // `history` likewise: it only reads the ledger. The ledger path
+    // defaults to runs.jsonl in whatever cache directory a normal run
+    // with the same flags/environment would use, so `divide all` and
+    // `divide history` line up without repeating the path.
+    if command == "history" {
+        let Some(path) = ledger_flag.or_else(|| {
+            resolve_ledger(
+                None,
+                resolve_cache_dir(no_cache, &cache_dir, &out).as_deref(),
+            )
+        }) else {
+            usage("history needs --ledger FILE when caching and DIVIDE_LEDGER are both disabled");
+        };
+        std::process::exit(history_cmd::run(&history_cmd::HistoryOpts {
+            ledger: path,
+            last: history_last,
+            max_regress_pct: report.max_regress_pct,
+            min_wall_ms: report.min_wall_ms,
+        }));
     }
     // The --trace flag wins; otherwise $DIVIDE_TRACE enables tracing
     // ("1"/truthy) or names the trace file directly (path-like value).
@@ -295,6 +370,19 @@ fn main() {
     leo_parallel::set_global_threads(threads);
     // The manifest must describe this invocation only.
     leo_obs::reset();
+    // Allocation tracking piggybacks on observability: when spans are
+    // collected (and DIVIDE_ALLOC doesn't opt out), turn the tracking
+    // allocator on and register it as the leo-obs resource hook — the
+    // hook is the single switch every consumer (manifest, ledger,
+    // trace memory lane) keys off.
+    if leo_obs::enabled() && alloc_enabled() {
+        leo_alloc::set_tracking(true);
+        leo_obs::resource::set_alloc_hook(Some(leo_obs::resource::AllocHook {
+            read: alloc_reading,
+            rebase_span_peak: leo_alloc::rebase_span_peak,
+            span_peak: leo_alloc::span_peak_bytes,
+        }));
+    }
     // Spawn the persistent worker pool up front (after the metrics
     // reset, so `parallel.pool_spawned_threads` lands in the manifest)
     // so the first paper-scale fan-out doesn't pay thread creation.
@@ -318,19 +406,9 @@ fn main() {
         std::process::exit(1);
     }
 
-    // Snapshot cache resolution: --no-cache wins, then --cache, then
-    // $DIVIDE_CACHE ("off" disables), then <out>/.divide-cache.
-    let cache = if no_cache {
-        None
-    } else if let Some(dir) = cache_dir {
-        Some(DatasetCache::new(dir))
-    } else {
-        match std::env::var("DIVIDE_CACHE") {
-            Ok(v) if v.eq_ignore_ascii_case("off") => None,
-            Ok(v) if !v.is_empty() => Some(DatasetCache::new(PathBuf::from(v))),
-            _ => Some(DatasetCache::new(out.join(".divide-cache"))),
-        }
-    };
+    let resolved_cache = resolve_cache_dir(no_cache, &cache_dir, &out);
+    let ledger_path = resolve_ledger(ledger_flag, resolved_cache.as_deref());
+    let cache = resolved_cache.map(DatasetCache::new);
 
     let cfg = if scale == "paper" {
         SynthConfig::paper()
@@ -413,6 +491,23 @@ fn main() {
         // reproducibility bookkeeping, not results.
         Err(e) => leo_obs::log_warn!("cannot write {}: {e}", manifest_path.display()),
     }
+    // Append this run to the history ledger (`divide history` trends
+    // over it). Like the manifest, a failed append degrades
+    // bookkeeping, never the run's results or exit code.
+    if leo_obs::enabled() {
+        if let Some(path) = &ledger_path {
+            let ts = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0);
+            let git = leo_obs::ledger::git_describe();
+            let record = leo_obs::ledger::build_record(&info, wall_ms, ts, git.as_deref());
+            match leo_obs::ledger::append(path, &record) {
+                Ok(()) => leo_obs::log_info!("appended run to {}", path.display()),
+                Err(e) => leo_obs::log_warn!("cannot append to {}: {e}", path.display()),
+            }
+        }
+    }
     if let Some(path) = metrics_out {
         match manifest::write_json(&path, &manifest::bench_record(&info, wall_ms)) {
             Ok(()) => leo_obs::log_info!("wrote {}", path.display()),
@@ -437,6 +532,57 @@ fn main() {
                 }
             }
         }
+    }
+}
+
+/// Whether `DIVIDE_ALLOC` permits allocation tracking (default yes).
+fn alloc_enabled() -> bool {
+    match std::env::var("DIVIDE_ALLOC") {
+        Ok(v) => {
+            !(v.eq_ignore_ascii_case("off")
+                || v.eq_ignore_ascii_case("false")
+                || v == "0"
+                || v.is_empty())
+        }
+        Err(_) => true,
+    }
+}
+
+/// Snapshot cache resolution: --no-cache wins, then --cache, then
+/// $DIVIDE_CACHE ("off" disables), then <out>/.divide-cache.
+fn resolve_cache_dir(no_cache: bool, cache_dir: &Option<PathBuf>, out: &Path) -> Option<PathBuf> {
+    if no_cache {
+        return None;
+    }
+    if let Some(dir) = cache_dir {
+        return Some(dir.clone());
+    }
+    match std::env::var("DIVIDE_CACHE") {
+        Ok(v) if v.eq_ignore_ascii_case("off") => None,
+        Ok(v) if !v.is_empty() => Some(PathBuf::from(v)),
+        _ => Some(out.join(".divide-cache")),
+    }
+}
+
+/// Run-ledger resolution: --ledger wins, then $DIVIDE_LEDGER ("off"
+/// disables, anything else is the file path), then runs.jsonl beside
+/// the dataset snapshots in the cache directory. `None` means "no
+/// ledger" — nothing is appended and `history` has nothing to read.
+fn resolve_ledger(explicit: Option<PathBuf>, cache_dir: Option<&Path>) -> Option<PathBuf> {
+    if explicit.is_some() {
+        return explicit;
+    }
+    match std::env::var("DIVIDE_LEDGER") {
+        Ok(v)
+            if v.eq_ignore_ascii_case("off")
+                || v.eq_ignore_ascii_case("false")
+                || v == "0"
+                || v.is_empty() =>
+        {
+            None
+        }
+        Ok(v) => Some(PathBuf::from(v)),
+        Err(_) => cache_dir.map(|d| d.join("runs.jsonl")),
     }
 }
 
@@ -806,6 +952,10 @@ fn write(out: &Path, name: &str, content: &str) {
         leo_obs::log_error!("cannot write {}: {e}", path.display());
         std::process::exit(1);
     }
+    // Artifact writes join the uniform io.* metric family the snapshot
+    // store feeds, so the manifest accounts for all file traffic.
+    leo_obs::metrics::counter_add("io.write_calls", 1);
+    leo_obs::metrics::counter_add("io.bytes_written", content.len() as u64);
     leo_obs::log_info!("wrote {}", path.display());
 }
 

@@ -1,6 +1,9 @@
 //! End-to-end tests of the `divide` binary: the `--trace` exporter,
-//! the `--progress` ticker's gating matrix, and every exit code of
-//! `divide report`.
+//! the `--progress` ticker's gating matrix, every exit code of
+//! `divide report` and `divide history`, and the resource-telemetry
+//! surface (manifest alloc/RSS fields, run-ledger appends, the trace
+//! memory lane) together with its `DIVIDE_OBS`/`DIVIDE_ALLOC`/
+//! `DIVIDE_LEDGER` off-switches.
 
 use leo_obs::json::Json;
 use std::path::{Path, PathBuf};
@@ -107,6 +110,305 @@ fn report_exit_codes_cover_ok_regression_io_and_usage() {
     let out = run(divide().args(["report", "--candidate"]).arg(&ok));
     assert_eq!(out.status.code(), Some(2), "missing --baseline is usage");
 
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A hand-built `leo-obs/run-ledger/v1` line as a real run appends it.
+fn ledger_line(command: &str, wall_ms: f64, peak_heap: u64) -> String {
+    format!(
+        concat!(
+            "{{\"schema\":\"leo-obs/run-ledger/v1\",\"ts_unix\":1,",
+            "\"command\":\"{}\",\"scale\":\"small\",\"seed\":7,\"threads\":2,",
+            "\"argv\":[\"divide\"],\"wall_ms\":{},",
+            "\"stages\":{{\"dataset\":{{\"wall_ms\":{},\"alloc_bytes\":1000,",
+            "\"alloc_count\":10,\"peak_heap_delta\":{}}}}},",
+            "\"peak_heap_bytes\":{},\"io_bytes_read\":0,\"io_bytes_written\":0}}\n"
+        ),
+        command,
+        wall_ms,
+        wall_ms / 2.0,
+        peak_heap,
+        peak_heap
+    )
+}
+
+#[test]
+fn history_exit_codes_cover_ok_regression_io_and_usage() {
+    let dir = tmp("history");
+    let ledger = dir.join("runs.jsonl");
+
+    // Three steady runs: the newest sits on the prior median — exit 0.
+    let mut body = String::new();
+    for wall in [400.0, 410.0, 405.0] {
+        body.push_str(&ledger_line("all", wall, 64 << 20));
+    }
+    write(&ledger, &body);
+    let out = run(divide().args(["history", "--ledger"]).arg(&ledger));
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "steady history must pass: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        stdout.contains("dataset wall"),
+        "trend table rows: {stdout}"
+    );
+    assert!(stdout.contains("total wall"), "trend table rows: {stdout}");
+    assert!(stdout.contains("run peak heap"), "memory rows: {stdout}");
+
+    // Inject a 3x wall + 3x heap run: regression, exit 3.
+    body.push_str(&ledger_line("all", 1200.0, 192 << 20));
+    write(&ledger, &body);
+    let out = run(divide().args(["history", "--ledger"]).arg(&ledger));
+    assert_eq!(out.status.code(), Some(3), "regression must exit 3");
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("REGRESSED"), "regression flagged: {stdout}");
+
+    // A generous threshold lets the same ledger pass.
+    let out = run(divide()
+        .args(["history", "--ledger"])
+        .arg(&ledger)
+        .args(["--max-regress-pct", "500"]));
+    assert_eq!(out.status.code(), Some(0), "threshold is respected");
+
+    // Runs of a different identity are ignored, not compared against.
+    body.push_str(&ledger_line("table1", 1.0, 1024));
+    write(&ledger, &body);
+    let out = run(divide().args(["history", "--ledger"]).arg(&ledger));
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "single table1 run has no history to regress against"
+    );
+
+    let out = run(divide()
+        .args(["history", "--ledger"])
+        .arg(dir.join("missing.jsonl")));
+    assert_eq!(out.status.code(), Some(1), "unreadable ledger must exit 1");
+
+    let out = run(divide()
+        .args(["history", "--ledger"])
+        .arg(&ledger)
+        .args(["--last", "0"]));
+    assert_eq!(out.status.code(), Some(2), "--last 0 is a usage error");
+
+    // No --ledger, caching and DIVIDE_LEDGER both off: nowhere to read.
+    let out = run(divide()
+        .args(["history", "--no-cache"])
+        .env_remove("DIVIDE_LEDGER")
+        .env_remove("DIVIDE_CACHE"));
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "no resolvable ledger is a usage error"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn runs_append_to_the_ledger_unless_obs_or_ledger_is_off() {
+    let dir = tmp("ledger_append");
+    let cache = dir.join("cache");
+    let base = |dir: &Path, cache: &Path| {
+        let mut c = divide();
+        c.args(["--scale", "small", "--out"])
+            .arg(dir)
+            .arg("--cache")
+            .arg(cache)
+            .env_remove("DIVIDE_LEDGER")
+            .arg("table1");
+        c
+    };
+
+    // Two normal runs append two schema-tagged records.
+    for _ in 0..2 {
+        let out = run(&mut base(&dir, &cache));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let ledger = cache.join("runs.jsonl");
+    let body = std::fs::read_to_string(&ledger).expect("runs.jsonl appended");
+    let lines: Vec<&str> = body.lines().collect();
+    assert_eq!(lines.len(), 2, "one record per run: {body}");
+    for line in &lines {
+        let rec = Json::parse(line).expect("ledger line parses");
+        assert_eq!(
+            rec.get("schema").and_then(Json::as_str),
+            Some("leo-obs/run-ledger/v1")
+        );
+        assert_eq!(rec.get("command").and_then(Json::as_str), Some("table1"));
+        assert!(
+            rec.get("stages")
+                .and_then(|s| s.get("dataset"))
+                .and_then(|s| s.get("wall_ms"))
+                .and_then(Json::as_f64)
+                .is_some(),
+            "per-stage wall recorded: {line}"
+        );
+    }
+
+    // `history` over its own appends: two comparable runs, exit 0.
+    let out = run(divide().args(["history", "--ledger"]).arg(&ledger));
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // DIVIDE_OBS=off: run succeeds, nothing is appended.
+    let out = run(base(&dir, &cache).env("DIVIDE_OBS", "off"));
+    assert!(out.status.success());
+    let body = std::fs::read_to_string(&ledger).expect("ledger still there");
+    assert_eq!(body.lines().count(), 2, "DIVIDE_OBS=off must not append");
+
+    // DIVIDE_LEDGER=off: same.
+    let out = run(base(&dir, &cache).env("DIVIDE_LEDGER", "off"));
+    assert!(out.status.success());
+    let body = std::fs::read_to_string(&ledger).expect("ledger still there");
+    assert_eq!(body.lines().count(), 2, "DIVIDE_LEDGER=off must not append");
+
+    // DIVIDE_LEDGER=path redirects the append away from the cache.
+    let alt = dir.join("alt.jsonl");
+    let out = run(base(&dir, &cache).env("DIVIDE_LEDGER", &alt));
+    assert!(out.status.success());
+    assert!(alt.is_file(), "DIVIDE_LEDGER names the destination");
+    let body = std::fs::read_to_string(&ledger).expect("ledger still there");
+    assert_eq!(body.lines().count(), 2, "cache ledger untouched");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn manifest_carries_alloc_and_rss_telemetry_unless_disabled() {
+    let dir = tmp("telemetry");
+    let out = run(divide()
+        .args(["--scale", "small", "--no-cache", "--out"])
+        .arg(&dir)
+        .env_remove("DIVIDE_ALLOC")
+        .arg("table1"));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let manifest =
+        Json::parse(&std::fs::read_to_string(dir.join("run_manifest.json")).expect("manifest"))
+            .expect("manifest parses");
+    let stages = match manifest.get("stages") {
+        Some(Json::Arr(stages)) => stages,
+        other => panic!("stages array expected, got {other:?}"),
+    };
+    for stage in stages {
+        let name = stage.get("name").and_then(Json::as_str).unwrap_or("?");
+        for field in ["alloc_bytes", "alloc_count", "peak_heap_delta"] {
+            let v = stage.get(field).and_then(Json::as_u64);
+            assert!(
+                v.is_some_and(|v| v > 0),
+                "stage {name} field {field} positive, got {v:?}"
+            );
+        }
+    }
+    let resources = manifest.get("resources").expect("resources section");
+    for field in ["alloc_calls", "alloc_bytes_total", "peak_heap_bytes"] {
+        let v = resources.get(field).and_then(Json::as_u64);
+        assert!(v.is_some_and(|v| v > 0), "resources.{field} got {v:?}");
+    }
+    if cfg!(target_os = "linux") {
+        let v = resources.get("peak_rss_kb").and_then(Json::as_u64);
+        assert!(v.is_some_and(|v| v > 0), "resources.peak_rss_kb: {v:?}");
+    }
+
+    // DIVIDE_ALLOC=off: run succeeds, heap fields are absent — absent
+    // rather than zero, so consumers can tell "not measured" apart
+    // from "measured nothing".
+    let dir_off = tmp("telemetry_off");
+    let out = run(divide()
+        .args(["--scale", "small", "--no-cache", "--out"])
+        .arg(&dir_off)
+        .env("DIVIDE_ALLOC", "off")
+        .arg("table1"));
+    assert!(out.status.success());
+    let manifest =
+        Json::parse(&std::fs::read_to_string(dir_off.join("run_manifest.json")).expect("manifest"))
+            .expect("manifest parses");
+    let stages = match manifest.get("stages") {
+        Some(Json::Arr(stages)) => stages,
+        other => panic!("stages array expected, got {other:?}"),
+    };
+    for stage in stages {
+        assert!(
+            stage.get("alloc_bytes").is_none(),
+            "DIVIDE_ALLOC=off leaves no per-stage alloc fields"
+        );
+    }
+    let resources = manifest.get("resources").expect("resources section");
+    assert!(
+        resources.get("alloc_calls").is_none(),
+        "DIVIDE_ALLOC=off leaves no heap telemetry"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir_off);
+}
+
+#[test]
+fn trace_contains_heap_counter_events_on_the_memory_lane() {
+    let dir = tmp("trace_mem");
+    let out = run(divide()
+        .args(["--scale", "small", "--no-cache", "--trace", "--out"])
+        .arg(&dir)
+        .env_remove("DIVIDE_ALLOC")
+        .arg("table1"));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body = std::fs::read_to_string(dir.join("trace.json")).expect("trace.json");
+    let doc = Json::parse(&body).expect("trace.json parses");
+    let events = match doc.get("traceEvents") {
+        Some(Json::Arr(events)) => events,
+        other => panic!("traceEvents array expected, got {other:?}"),
+    };
+    let heap_samples: Vec<&Json> = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("C")
+                && e.get("name").and_then(Json::as_str) == Some("heap_bytes")
+        })
+        .collect();
+    assert!(
+        heap_samples.len() >= 2,
+        "span boundaries sample heap onto the mem lane, got {}",
+        heap_samples.len()
+    );
+    assert!(
+        heap_samples.iter().any(|e| {
+            e.get("args")
+                .and_then(|a| a.get("bytes"))
+                .and_then(Json::as_u64)
+                .is_some_and(|b| b > 0)
+        }),
+        "heap samples carry a bytes series"
+    );
+    // The counter lane is registered with a thread_name like the
+    // worker lanes, so Perfetto shows it as a named track.
+    let lanes: Vec<String> = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("M")
+                && e.get("name").and_then(Json::as_str) == Some("thread_name")
+        })
+        .filter_map(|e| e.get("args")?.get("name")?.as_str().map(str::to_string))
+        .collect();
+    assert!(lanes.contains(&"mem".to_string()), "mem lane in {lanes:?}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

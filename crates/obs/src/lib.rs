@@ -3,8 +3,10 @@
 //! The workspace's observability substrate: hierarchical timing
 //! [`span`]s, a process-wide [`metrics`] registry (counters, gauges,
 //! fixed-bucket histograms), JSON [`manifest`] emission for reproducible
-//! runs, the leveled stderr [`log`]ger behind the `divide` CLI, and the
-//! opt-in [`progress`] line it prints per pipeline stage.
+//! runs, the leveled stderr [`log`]ger behind the `divide` CLI, the
+//! opt-in [`progress`] line it prints per pipeline stage, process
+//! [`resource`] telemetry (allocator hook + RSS sampling), and the
+//! append-only run-history [`ledger`].
 //!
 //! ## The determinism contract
 //!
@@ -30,10 +32,12 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod ledger;
 pub mod log;
 pub mod manifest;
 pub mod metrics;
 pub mod progress;
+pub mod resource;
 pub mod span;
 
 use std::sync::atomic::{AtomicU8, Ordering};

@@ -13,7 +13,7 @@
 
 use crate::json::Json;
 use crate::metrics::{self, MetricsSnapshot};
-use crate::span::{self, SpanStats};
+use crate::span::{self, SpanAllocStats, SpanStats};
 use std::collections::BTreeMap;
 
 /// The workspace crates a manifest lists (all share the workspace
@@ -31,6 +31,7 @@ const WORKSPACE_CRATES: &[&str] = &[
     "leo-parallel",
     "leo-obs",
     "leo-trace",
+    "leo-alloc",
 ];
 
 /// Identity of one pipeline invocation.
@@ -134,19 +135,52 @@ fn metrics_json(snap: &MetricsSnapshot) -> Json {
         .set("histograms", histograms)
 }
 
+/// The run-level `resources` object: allocator totals (when the
+/// binary installed an [`crate::resource::AllocHook`]) and RSS from
+/// `/proc/self/status` (on Linux). Both halves degrade to absent keys
+/// rather than zeros when their source is unavailable, so a reader can
+/// tell "not measured" from "measured zero".
+fn resources_json() -> Json {
+    let mut res = Json::obj();
+    if let Some(hook) = crate::resource::alloc_hook() {
+        let r = (hook.read)();
+        res = res
+            .set("alloc_calls", r.alloc_calls)
+            .set("dealloc_calls", r.dealloc_calls)
+            .set("alloc_bytes_total", r.allocated_bytes)
+            .set("current_heap_bytes", r.current_bytes)
+            .set("peak_heap_bytes", r.peak_bytes);
+    }
+    if let Some(rss) = crate::resource::rss_kb() {
+        res = res
+            .set("peak_rss_kb", rss.peak_kb)
+            .set("end_rss_kb", rss.current_kb);
+    }
+    if let Some(cpu) = crate::resource::cpu_ms() {
+        res = res.set("cpu_ms", cpu);
+    }
+    res
+}
+
 /// Builds the full run manifest from the current span and metric
 /// registries. `wall_ms` is the whole invocation's wall-clock.
 pub fn run_manifest(info: &RunInfo, wall_ms: f64) -> Json {
     let spans = span::snapshot();
+    let allocs = span::alloc_snapshot();
     let mut stages = Json::Arr(Vec::new());
     if let Json::Arr(items) = &mut stages {
         for (name, stats) in stage_spans(&spans) {
-            items.push(
-                Json::obj()
-                    .set("name", name)
-                    .set("wall_ms", ns_to_ms(stats.total_ns))
-                    .set("calls", stats.count),
-            );
+            let mut stage = Json::obj()
+                .set("name", name.as_str())
+                .set("wall_ms", ns_to_ms(stats.total_ns))
+                .set("calls", stats.count);
+            if let Some(a) = allocs.get(&format!("stage.{name}")) {
+                stage = stage
+                    .set("alloc_bytes", a.alloc_bytes)
+                    .set("alloc_count", a.alloc_count)
+                    .set("peak_heap_delta", a.peak_heap_delta);
+            }
+            items.push(stage);
         }
     }
     Json::obj()
@@ -167,8 +201,22 @@ pub fn run_manifest(info: &RunInfo, wall_ms: f64) -> Json {
                 ),
         )
         .set("stages", stages)
+        .set("resources", resources_json())
         .set("spans", span_tree(&spans, ""))
         .set("metrics", metrics_json(&metrics::snapshot()))
+}
+
+/// The allocator registry keyed by stage name (the `stage.` prefix
+/// stripped), for ledger records.
+pub fn stage_alloc_stats() -> BTreeMap<String, SpanAllocStats> {
+    span::alloc_snapshot()
+        .into_iter()
+        .filter_map(|(path, stats)| {
+            path.strip_prefix("stage.")
+                .filter(|rest| !rest.contains('/'))
+                .map(|rest| (rest.to_string(), stats))
+        })
+        .collect()
 }
 
 /// Builds the flat bench record for `--metrics-out` /
@@ -185,15 +233,30 @@ pub fn bench_record(info: &RunInfo, wall_ms: f64) -> Json {
     for (name, value) in &metrics::snapshot().counters {
         counters = counters.set(name, *value);
     }
-    Json::obj()
+    let mut rec = Json::obj()
         .set("schema", "leo-obs/bench/v1")
         .set("command", info.command.as_str())
         .set("scale", info.scale.as_str())
         .set("seed", info.seed)
         .set("threads", info.threads)
-        .set("wall_ms", wall_ms)
-        .set("stages", stages)
-        .set("counters", counters)
+        .set("wall_ms", wall_ms);
+    // Flat resource scalars, present only when measured (same
+    // absent-vs-zero distinction as the manifest's `resources`).
+    if let Some(hook) = crate::resource::alloc_hook() {
+        let r = (hook.read)();
+        rec = rec
+            .set("alloc_bytes_total", r.allocated_bytes)
+            .set("peak_heap_bytes", r.peak_bytes);
+    }
+    if let Some(rss) = crate::resource::rss_kb() {
+        rec = rec.set("peak_rss_kb", rss.peak_kb);
+    }
+    // CPU time (user+system): the stable basis for overhead A/Bs on a
+    // loaded host, where wall-clock is scheduler noise.
+    if let Some(cpu) = crate::resource::cpu_ms() {
+        rec = rec.set("cpu_ms", cpu);
+    }
+    rec.set("stages", stages).set("counters", counters)
 }
 
 /// Writes a JSON document to `path`, pretty-printed, creating parent

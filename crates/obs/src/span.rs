@@ -88,6 +88,35 @@ impl SpanStats {
 /// iterate in a stable order.
 static REGISTRY: Mutex<BTreeMap<String, SpanStats>> = Mutex::new(BTreeMap::new());
 
+/// Accumulated allocator statistics of one **top-level** span path.
+///
+/// Only top-level spans (opened with an empty stack) carry allocator
+/// accounting: the tracking allocator keeps a single process-wide
+/// rebasable high-water mark, which cannot nest — and the pipeline's
+/// `stage.*` spans, the ones the manifest reports, all run serially on
+/// the main thread at depth zero, so that one watermark is exactly
+/// enough (DESIGN.md §12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanAllocStats {
+    /// Bytes allocated while the span was open, summed across calls.
+    pub alloc_bytes: u64,
+    /// Allocation calls while the span was open, summed across calls.
+    pub alloc_count: u64,
+    /// Highest rise of the live heap above its level at span entry,
+    /// maxed across calls.
+    pub peak_heap_delta: u64,
+}
+
+/// Allocator registry: top-level span path → accumulated heap stats.
+static ALLOC_REGISTRY: Mutex<BTreeMap<String, SpanAllocStats>> = Mutex::new(BTreeMap::new());
+
+/// Allocator counters captured when a top-level span opened.
+struct AllocBegin {
+    alloc_calls: u64,
+    allocated_bytes: u64,
+    current_bytes: u64,
+}
+
 thread_local! {
     /// The live span paths of this thread, innermost last.
     static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
@@ -99,6 +128,7 @@ thread_local! {
 pub struct SpanGuard {
     path: Option<String>,
     start: Instant,
+    alloc_begin: Option<AllocBegin>,
 }
 
 /// Opens a span named `name` nested under this thread's innermost live
@@ -108,17 +138,33 @@ pub fn enter(name: &str) -> SpanGuard {
         return SpanGuard {
             path: None,
             start: Instant::now(),
+            alloc_begin: None,
         };
     }
-    let path = STACK.with(|stack| {
+    let (path, is_top) = STACK.with(|stack| {
         let mut stack = stack.borrow_mut();
-        let path = match stack.last() {
-            Some(parent) => format!("{parent}/{name}"),
-            None => name.to_string(),
+        let (path, is_top) = match stack.last() {
+            Some(parent) => (format!("{parent}/{name}"), false),
+            None => (name.to_string(), true),
         };
         stack.push(path.clone());
-        path
+        (path, is_top)
     });
+    // Only top-level spans carry heap accounting: the allocator keeps
+    // a single rebasable high-water mark (see SpanAllocStats docs).
+    let alloc_begin = if is_top {
+        crate::resource::alloc_hook().map(|hook| {
+            let reading = (hook.read)();
+            (hook.rebase_span_peak)();
+            AllocBegin {
+                alloc_calls: reading.alloc_calls,
+                allocated_bytes: reading.allocated_bytes,
+                current_bytes: reading.current_bytes,
+            }
+        })
+    } else {
+        None
+    };
     // Progress printing is stderr I/O; do it before taking the start
     // timestamp so it never inflates the span's own measurement.
     crate::progress::on_span_begin(&path);
@@ -127,6 +173,7 @@ pub fn enter(name: &str) -> SpanGuard {
     SpanGuard {
         path: Some(path),
         start,
+        alloc_begin,
     }
 }
 
@@ -140,6 +187,25 @@ impl Drop for SpanGuard {
             STACK.with(|stack| {
                 stack.borrow_mut().pop();
             });
+            if let (Some(begin), Some(hook)) =
+                (self.alloc_begin.take(), crate::resource::alloc_hook())
+            {
+                let reading = (hook.read)();
+                let span_peak = (hook.span_peak)();
+                let mut alloc_registry = ALLOC_REGISTRY.lock();
+                let stats = alloc_registry.entry(path.clone()).or_default();
+                stats.alloc_bytes = stats.alloc_bytes.saturating_add(
+                    reading
+                        .allocated_bytes
+                        .saturating_sub(begin.allocated_bytes),
+                );
+                stats.alloc_count = stats
+                    .alloc_count
+                    .saturating_add(reading.alloc_calls.saturating_sub(begin.alloc_calls));
+                stats.peak_heap_delta = stats
+                    .peak_heap_delta
+                    .max(span_peak.saturating_sub(begin.current_bytes));
+            }
             let mut registry = REGISTRY.lock();
             let next_seq = registry.len() as u64;
             registry
@@ -161,9 +227,16 @@ pub fn snapshot() -> BTreeMap<String, SpanStats> {
     REGISTRY.lock().clone()
 }
 
-/// Clears the registry (live guards still record when they drop).
+/// A copy of the allocator registry: top-level span path → heap stats.
+/// Empty unless an [`crate::resource::AllocHook`] was installed.
+pub fn alloc_snapshot() -> BTreeMap<String, SpanAllocStats> {
+    ALLOC_REGISTRY.lock().clone()
+}
+
+/// Clears the registries (live guards still record when they drop).
 pub fn reset() {
     REGISTRY.lock().clear();
+    ALLOC_REGISTRY.lock().clear();
 }
 
 #[cfg(test)]
@@ -254,6 +327,60 @@ mod tests {
             let _s = enter("t_sinkspan.after");
         }
         assert!(SINK_LOG.lock().is_empty());
+    }
+
+    /// A deterministic fake allocator for hook tests: `read` advances
+    /// a static counter so begin/end deltas are nonzero.
+    static FAKE_TICKS: Mutex<u64> = Mutex::new(0);
+
+    fn fake_read() -> crate::resource::AllocReading {
+        let mut ticks = FAKE_TICKS.lock();
+        *ticks += 1;
+        crate::resource::AllocReading {
+            alloc_calls: *ticks * 10,
+            dealloc_calls: *ticks * 5,
+            allocated_bytes: *ticks * 1000,
+            current_bytes: 500,
+            peak_bytes: *ticks * 1000,
+        }
+    }
+    fn fake_rebase() -> u64 {
+        500
+    }
+    fn fake_span_peak() -> u64 {
+        900
+    }
+
+    #[test]
+    fn top_level_spans_capture_alloc_deltas_nested_do_not() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(true);
+        crate::resource::set_alloc_hook(Some(crate::resource::AllocHook {
+            read: fake_read,
+            rebase_span_peak: fake_rebase,
+            span_peak: fake_span_peak,
+        }));
+        {
+            let _outer = enter("t_alloc.outer");
+            let _inner = enter("child");
+        }
+        crate::resource::set_alloc_hook(None);
+        let got = alloc_snapshot();
+        let outer = got["t_alloc.outer"];
+        // One fake tick between begin and end: 10 calls, 1000 bytes.
+        assert_eq!(outer.alloc_count, 10);
+        assert_eq!(outer.alloc_bytes, 1000);
+        // peak 900 − current-at-entry 500.
+        assert_eq!(outer.peak_heap_delta, 400);
+        assert!(
+            !got.contains_key("t_alloc.outer/child"),
+            "nested spans must not carry alloc stats"
+        );
+        // Without the hook, nothing accumulates.
+        {
+            let _s = enter("t_alloc.unhooked");
+        }
+        assert!(!alloc_snapshot().contains_key("t_alloc.unhooked"));
     }
 
     #[test]

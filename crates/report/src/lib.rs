@@ -16,6 +16,7 @@ pub mod chart;
 pub mod csv;
 pub mod error;
 pub mod markdown;
+pub mod spark;
 pub mod svg;
 pub mod table;
 
@@ -23,4 +24,5 @@ pub use chart::{Heatmap, Histogram, LineChart, PointMap, Series};
 pub use csv::CsvWriter;
 pub use error::ReportError;
 pub use markdown::{Align, MarkdownTable};
+pub use spark::sparkline;
 pub use table::TextTable;

@@ -1,0 +1,75 @@
+//! ASCII sparklines: a run of values compressed into one cell-wide
+//! string of block glyphs (`▁▂▃▄▅▆▇█`), for trend columns in terminal
+//! tables (`divide history`).
+
+/// The glyph ramp, lowest to highest.
+const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders `values` as a sparkline, one glyph per value, scaled to the
+/// finite min–max range of the input. Non-finite values render as a
+/// space; an all-equal (or single-value) series renders at mid-height
+/// so it reads as "flat", not "minimal". Empty input yields an empty
+/// string.
+pub fn sparkline(values: &[f64]) -> String {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return values.iter().map(|_| ' ').collect();
+    }
+    let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let range = max - min;
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                ' '
+            } else if range <= 0.0 {
+                BLOCKS[BLOCKS.len() / 2]
+            } else {
+                let t = (v - min) / range;
+                let idx = ((t * (BLOCKS.len() - 1) as f64).round() as usize).min(BLOCKS.len() - 1);
+                BLOCKS[idx]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn monotone_ramp_uses_full_range() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(s, "▁▂▃▄▅▆▇█");
+    }
+
+    #[test]
+    fn flat_series_sits_at_mid_height() {
+        assert_eq!(sparkline(&[5.0, 5.0, 5.0]), "▅▅▅");
+        assert_eq!(sparkline(&[0.0]), "▅");
+    }
+
+    #[test]
+    fn extremes_map_to_first_and_last_block() {
+        let s: Vec<char> = sparkline(&[10.0, 20.0, 10.0]).chars().collect();
+        assert_eq!(s[0], '▁');
+        assert_eq!(s[1], '█');
+        assert_eq!(s[2], '▁');
+    }
+
+    #[test]
+    fn non_finite_values_render_as_spaces() {
+        let s = sparkline(&[1.0, f64::NAN, 2.0, f64::INFINITY]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 4);
+        assert_eq!(chars[1], ' ');
+        assert_eq!(chars[3], ' ');
+        assert_eq!(sparkline(&[f64::NAN, f64::NAN]), "  ");
+    }
+}

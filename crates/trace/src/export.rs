@@ -8,9 +8,11 @@
 //! (`pid` 1) and one Chrome thread per lane (`tid` = lane index,
 //! named via `thread_name` metadata events). Span boundaries are `B`/
 //! `E` duration events, cache markers are thread-scoped `i` instants,
-//! and worker chunks are `X` complete events carrying `chunk`/`lo`/
-//! `hi` args. Timestamps are microseconds since the trace epoch, as
-//! the format requires; load the file in <https://ui.perfetto.dev> or
+//! worker chunks are `X` complete events carrying `chunk`/`lo`/`hi`
+//! args, and memory samples on the `mem` lane are `C` counter events
+//! (`heap_bytes`/`rss_kb`) that Perfetto draws as counter tracks.
+//! Timestamps are microseconds since the trace epoch, as the format
+//! requires; load the file in <https://ui.perfetto.dev> or
 //! `chrome://tracing` unmodified.
 //!
 //! ## `trace.folded` — folded stacks
@@ -45,6 +47,7 @@ fn event_json(tid: usize, ev: &Event) -> Json {
             .set("ph", "X")
             .set("ts", ts_us(ev.ts_ns))
             .set("dur", ts_us(dur_ns)),
+        EventKind::Counter => e.set("ph", "C").set("ts", ts_us(ev.ts_ns)),
     };
     if !ev.args.is_empty() {
         let mut args = Json::obj();
@@ -120,7 +123,9 @@ pub fn folded_stacks() -> String {
                         .entry(format!("{};{}", lane.label, ev.name))
                         .or_default() += dur_ns;
                 }
-                EventKind::Instant => {}
+                // Counter samples carry values, not durations; they
+                // have no place on a flamegraph.
+                EventKind::Instant | EventKind::Counter => {}
             }
         }
     }
@@ -178,6 +183,7 @@ mod tests {
         crate::instant("cache.hit");
         crate::end("outer", at(100));
         crate::worker_chunk(0, "parallel.par_map", at(10), at(40), 0, 50);
+        crate::counter_at("heap_bytes", &[("bytes", 4096)], at(50));
         epoch
     }
 
@@ -201,6 +207,21 @@ mod tests {
         assert!(rendered.contains("\"lo\":0"));
         assert!(rendered.contains("\"hi\":50"));
         assert!(rendered.contains("\"dur\":30"));
+        // The heap sample lands on the named mem lane as a C event.
+        assert!(rendered.contains("\"ph\":\"C\""));
+        assert!(rendered.contains("\"mem\""));
+        assert!(rendered.contains("\"bytes\":4096"));
+        crate::set_enabled(false);
+        crate::reset();
+    }
+
+    #[test]
+    fn folded_stacks_ignore_counter_samples() {
+        let _lock = test_lock();
+        record_fixture();
+        let folded = folded_stacks();
+        assert!(!folded.contains("heap_bytes"), "{folded}");
+        assert!(!folded.contains("mem;"), "{folded}");
         crate::set_enabled(false);
         crate::reset();
     }

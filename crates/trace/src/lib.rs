@@ -61,6 +61,10 @@ pub enum EventKind {
         /// The event's duration in nanoseconds.
         dur_ns: u64,
     },
+    /// A sampled counter value, e.g. live heap bytes (Chrome phase
+    /// `C`). The sample's series values ride in [`Event::args`];
+    /// Perfetto renders them as a stacked counter track.
+    Counter,
 }
 
 /// One recorded timeline event.
@@ -99,6 +103,11 @@ static LANES: Mutex<Vec<Lane>> = Mutex::new(Vec::new());
 /// Worker-index → lane buffer map (generation-tagged so [`reset`]
 /// invalidates it without touching other threads' caches).
 static WORKERS: Mutex<(u64, Vec<Option<Buf>>)> = Mutex::new((0, Vec::new()));
+
+/// The dedicated `mem` lane for counter samples (generation-tagged
+/// like [`WORKERS`]). One lane regardless of which thread samples, so
+/// Perfetto shows a single continuous memory track.
+static MEM_LANE: Mutex<(u64, Option<Buf>)> = Mutex::new((0, None));
 
 /// Bumped by [`reset`]; thread-local lane caches compare against it.
 static GENERATION: AtomicU64 = AtomicU64::new(0);
@@ -158,6 +167,29 @@ fn span_sink(phase: leo_obs::span::SpanPhase, name: &str, at: Instant) {
     match phase {
         leo_obs::span::SpanPhase::Begin => begin(name, at),
         leo_obs::span::SpanPhase::End => end(name, at),
+    }
+    // Span boundaries double as memory sampling points: frequent
+    // enough to draw a useful heap/RSS curve, rare enough (hundreds
+    // per run, never per data item) that the `/proc` read stays
+    // invisible next to the stages being traced.
+    sample_memory(at);
+}
+
+/// Emits heap/RSS counter samples onto the `mem` lane, timestamped
+/// `at`. The installed allocator hook is the master switch for memory
+/// telemetry: no hook (no tracking allocator, or `DIVIDE_ALLOC=off`)
+/// means no samples at all, RSS included.
+fn sample_memory(at: Instant) {
+    if !enabled() {
+        return;
+    }
+    let Some(hook) = leo_obs::resource::alloc_hook() else {
+        return;
+    };
+    let reading = (hook.read)();
+    counter_at("heap_bytes", &[("bytes", reading.current_bytes)], at);
+    if let Some(rss) = leo_obs::resource::rss_kb() {
+        counter_at("rss_kb", &[("kb", rss.current_kb)], at);
     }
 }
 
@@ -253,6 +285,42 @@ pub fn end(name: &str, at: Instant) {
     });
 }
 
+/// The `mem` lane buffer, registered on first use per generation.
+fn mem_buf() -> Buf {
+    let generation = GENERATION.load(Ordering::Relaxed);
+    let mut slot = MEM_LANE.lock();
+    if slot.0 != generation {
+        slot.0 = generation;
+        slot.1 = None;
+    }
+    if let Some(buf) = &slot.1 {
+        return Arc::clone(buf);
+    }
+    let buf = register_lane(Some("mem".to_string()));
+    slot.1 = Some(Arc::clone(&buf));
+    buf
+}
+
+/// Records a counter sample — one or more `(series, value)` pairs
+/// under `name` — on the shared `mem` lane, timestamped `at`.
+pub fn counter_at(name: &str, series: &[(&'static str, u64)], at: Instant) {
+    if !enabled() {
+        return;
+    }
+    let ts = ts_ns(at);
+    mem_buf().lock().push(Event {
+        ts_ns: ts,
+        name: name.to_string(),
+        kind: EventKind::Counter,
+        args: series.to_vec(),
+    });
+}
+
+/// Records a counter sample timestamped now. See [`counter_at`].
+pub fn counter(name: &str, series: &[(&'static str, u64)]) {
+    counter_at(name, series, Instant::now());
+}
+
 /// Records a point-in-time marker (cache hit/miss/invalid, ...) on
 /// this thread's lane, timestamped now.
 pub fn instant(name: &str) {
@@ -333,6 +401,10 @@ pub fn reset() {
     map.0 = GENERATION.load(Ordering::Relaxed);
     map.1.clear();
     drop(map);
+    let mut mem = MEM_LANE.lock();
+    mem.0 = GENERATION.load(Ordering::Relaxed);
+    mem.1 = None;
+    drop(mem);
     *EPOCH.lock() = Some(Instant::now());
 }
 
@@ -428,6 +500,61 @@ mod tests {
                 ("t_sink.outer", &EventKind::End),
             ]
         );
+        set_enabled(false);
+        reset();
+    }
+
+    fn fake_read() -> leo_obs::resource::AllocReading {
+        leo_obs::resource::AllocReading {
+            alloc_calls: 1,
+            dealloc_calls: 0,
+            allocated_bytes: 2048,
+            current_bytes: 2048,
+            peak_bytes: 2048,
+        }
+    }
+    fn fake_rebase() -> u64 {
+        2048
+    }
+    fn fake_span_peak() -> u64 {
+        2048
+    }
+
+    #[test]
+    fn span_boundaries_sample_memory_onto_the_mem_lane() {
+        let _lock = test_lock();
+        leo_obs::set_enabled(true);
+        set_enabled(true);
+        reset();
+        // Without a hook: spans alone, no mem lane.
+        {
+            let _span = leo_obs::span::enter("t_mem.unhooked");
+        }
+        assert!(!snapshot().iter().any(|l| l.label == "mem"));
+        leo_obs::resource::set_alloc_hook(Some(leo_obs::resource::AllocHook {
+            read: fake_read,
+            rebase_span_peak: fake_rebase,
+            span_peak: fake_span_peak,
+        }));
+        {
+            let _span = leo_obs::span::enter("t_mem.hooked");
+        }
+        leo_obs::resource::set_alloc_hook(None);
+        let lanes = snapshot();
+        let mem = lanes
+            .iter()
+            .find(|l| l.label == "mem")
+            .expect("mem lane registered");
+        let heap: Vec<&Event> = mem
+            .events
+            .iter()
+            .filter(|e| e.name == "heap_bytes")
+            .collect();
+        // One sample per span boundary: Begin and End.
+        assert_eq!(heap.len(), 2, "{heap:?}");
+        assert!(heap
+            .iter()
+            .all(|e| e.kind == EventKind::Counter && e.args == vec![("bytes", 2048)]));
         set_enabled(false);
         reset();
     }

@@ -35,9 +35,39 @@ done
 python3 - "$out/run_manifest.json" <<'PY'
 import json, sys
 
-counters = json.load(open(sys.argv[1]))["metrics"]["counters"]
+manifest = json.load(open(sys.argv[1]))
+counters = manifest["metrics"]["counters"]
 assert counters.get("parallel.serial_calls", 0) >= 1, counters
 print("[tier1] serial fan-outs accounted under parallel.serial_calls")
+
+# Resource telemetry (DESIGN.md §12): every stage carries positive
+# allocator deltas, the resources section carries heap + RSS peaks,
+# and artifact writes are accounted under the io.* family.
+for stage in manifest["stages"]:
+    for field in ("alloc_bytes", "alloc_count", "peak_heap_delta"):
+        assert stage.get(field, 0) > 0, (stage["name"], field, stage)
+res = manifest["resources"]
+for field in ("alloc_calls", "alloc_bytes_total", "peak_heap_bytes",
+              "peak_rss_kb", "end_rss_kb"):
+    assert res.get(field, 0) > 0, (field, res)
+assert counters.get("io.bytes_written", 0) > 0, counters
+assert counters.get("io.write_calls", 0) > 0, counters
+print("[tier1] manifest carries alloc/RSS telemetry and io.* counters")
+PY
+
+# Every observed run appends a ledger record beside the snapshots.
+ledger="$out/.divide-cache/runs.jsonl"
+python3 - "$ledger" <<'PY'
+import json, sys
+
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert len(lines) >= 1, "no ledger record appended"
+rec = json.loads(lines[-1])
+assert rec["schema"] == "leo-obs/run-ledger/v1", rec["schema"]
+assert rec["command"] == "all" and rec["wall_ms"] > 0, rec
+assert "dataset" in rec["stages"], sorted(rec["stages"])
+assert rec.get("peak_heap_bytes", 0) > 0, rec
+print("[tier1] run appended a valid run-ledger/v1 record")
 PY
 
 echo "[tier1] divide fig2 --quiet --metrics-out writes a valid bench record"
@@ -137,11 +167,18 @@ doc = json.load(open(f"{traced}/trace.json"))
 events = doc["traceEvents"]
 assert events, "empty trace"
 
-# Lane names: main plus one lane per worker index at --threads 4.
+# Lane names: main plus one lane per worker index at --threads 4,
+# plus the memory counter lane.
 lanes = {e["args"]["name"]: e["tid"] for e in events
          if e.get("ph") == "M" and e.get("name") == "thread_name"}
-for lane in ("main", "worker-0", "worker-1", "worker-2", "worker-3"):
+for lane in ("main", "worker-0", "worker-1", "worker-2", "worker-3", "mem"):
     assert lane in lanes, f"missing lane {lane}: {sorted(lanes)}"
+
+# Span boundaries sample the heap onto the mem lane as "C" events.
+heap_samples = [e for e in events
+                if e.get("ph") == "C" and e.get("name") == "heap_bytes"]
+assert len(heap_samples) >= 2, f"{len(heap_samples)} heap counter events"
+assert any(e["args"].get("bytes", 0) > 0 for e in heap_samples), heap_samples[:3]
 
 # Balanced B/E and non-decreasing timestamps per lane.
 balance = collections.Counter()
@@ -204,6 +241,35 @@ if ./target/release/divide report \
     exit 1
 fi
 
+echo "[tier1] divide history trends over the cold+warm ledger"
+# The cold and warm runs above share $cachedir, so its ledger holds two
+# comparable records; a healthy pair must render a table and exit 0.
+# Lenient thresholds on purpose: this smoke checks plumbing and exit
+# codes, not this box's perf (scripts/bench.sh owns that) — with the
+# defaults, scheduler noise on a loaded host can swing a small stage
+# past 20% and flake the "healthy" half. The injected 10x regression
+# below (+900%) still trips the 300% gate.
+history_gate="--max-regress-pct 300 --min-wall-ms 50"
+history_out="$(./target/release/divide history --ledger "$cachedir/runs.jsonl" $history_gate)" \
+    || { echo "[tier1] healthy history should exit 0" >&2; exit 1; }
+grep -q 'total wall' <<<"$history_out"
+grep -q 'dataset wall' <<<"$history_out"
+# Append a 10x-slower clone of the newest record: history must gate.
+python3 - "$cachedir/runs.jsonl" <<'PY'
+import json, sys
+
+path = sys.argv[1]
+rec = json.loads([l for l in open(path) if l.strip()][-1])
+rec["wall_ms"] = max(rec["wall_ms"] * 10, 1000.0)
+for stage in rec["stages"].values():
+    stage["wall_ms"] = max(stage["wall_ms"] * 10, 1000.0)
+open(path, "a").write(json.dumps(rec) + "\n")
+PY
+if ./target/release/divide history --ledger "$cachedir/runs.jsonl" $history_gate >/dev/null; then
+    echo "[tier1] history missed a 10x regression" >&2
+    exit 1
+fi
+
 echo "[tier1] divide --help exits 0 and lists every command"
 # Capture first: `grep -q` closing the pipe early would EPIPE divide.
 help_out="$(./target/release/divide --help)"
@@ -214,6 +280,9 @@ grep -q DIVIDE_CACHE <<<"$help_out"
 grep -q 'trace' <<<"$help_out"
 grep -q 'progress' <<<"$help_out"
 grep -q 'report' <<<"$help_out"
+grep -q 'history' <<<"$help_out"
 grep -q DIVIDE_TRACE <<<"$help_out"
+grep -q DIVIDE_ALLOC <<<"$help_out"
+grep -q DIVIDE_LEDGER <<<"$help_out"
 
 echo "[tier1] OK"

@@ -20,9 +20,11 @@
 //! * [`obs`] — spans, metrics, run manifests, leveled logging
 //! * [`trace`] — timeline recorder with Chrome-trace/flamegraph export
 //! * [`cache`] — content-addressed dataset snapshots for warm runs
+//! * [`alloc_track`] — tracking global-allocator wrapper (heap telemetry)
 
 #![forbid(unsafe_code)]
 
+pub use leo_alloc as alloc_track;
 pub use leo_cache as cache;
 pub use leo_capacity as capacity;
 pub use leo_demand as demand;

@@ -9,6 +9,12 @@ use starlink_divide_repro::model::{coverage_sweep, demand_stats, sizing, PaperMo
 use starlink_divide_repro::parallel::with_threads;
 use starlink_divide_repro::report::{CsvWriter, Heatmap};
 
+/// The same tracking allocator the CLI installs, so the resource
+/// telemetry tests below exercise the real alloc-count/peak path.
+#[global_allocator]
+static ALLOC: starlink_divide_repro::alloc_track::TrackingAlloc =
+    starlink_divide_repro::alloc_track::TrackingAlloc::new();
+
 /// Everything the figures consume, regenerated from scratch at a given
 /// worker count.
 struct PipelineOutputs {
@@ -129,6 +135,51 @@ fn observability_does_not_perturb_artifact_bytes() {
 
     assert_eq!(on_1, off_1, "obs on/off differ at 1 thread");
     assert_eq!(on_4, off_4, "obs on/off differ at 4 threads");
+    assert_eq!(on_1, on_4, "thread count leaked into artifacts");
+}
+
+/// The resource-telemetry determinism contract (DESIGN.md §12): the
+/// tracking allocator, the span high-water-mark hook, and RSS sampling
+/// only *count* — with telemetry fully on (tracking + hook, as the CLI
+/// installs them), artifact bytes must match a telemetry-off run at
+/// every thread count.
+#[test]
+fn resource_telemetry_does_not_perturb_artifact_bytes() {
+    use starlink_divide_repro::obs::resource::{self, AllocHook, AllocReading};
+    use starlink_divide_repro::{alloc_track, obs};
+
+    fn read() -> AllocReading {
+        let s = alloc_track::stats();
+        AllocReading {
+            alloc_calls: s.alloc_calls,
+            dealloc_calls: s.dealloc_calls,
+            allocated_bytes: s.allocated_bytes,
+            current_bytes: s.current_bytes,
+            peak_bytes: s.peak_bytes,
+        }
+    }
+
+    obs::set_enabled(true);
+    alloc_track::set_tracking(true);
+    resource::set_alloc_hook(Some(AllocHook {
+        read,
+        rebase_span_peak: alloc_track::rebase_span_peak,
+        span_peak: alloc_track::span_peak_bytes,
+    }));
+    let on_1 = artifact_bytes(1);
+    let on_4 = artifact_bytes(4);
+    assert!(
+        alloc_track::stats().alloc_calls > 0,
+        "tracking allocator saw no allocations — the telemetry-on leg measured nothing"
+    );
+
+    resource::set_alloc_hook(None);
+    alloc_track::set_tracking(false);
+    let off_1 = artifact_bytes(1);
+    let off_4 = artifact_bytes(4);
+
+    assert_eq!(on_1, off_1, "alloc telemetry on/off differ at 1 thread");
+    assert_eq!(on_4, off_4, "alloc telemetry on/off differ at 4 threads");
     assert_eq!(on_1, on_4, "thread count leaked into artifacts");
 }
 
