@@ -222,6 +222,20 @@ impl SnapshotStore {
         // cache.* counters keep their original payload semantics.
         leo_obs::metrics::counter_add("io.read_calls", 1);
         leo_obs::metrics::counter_add("io.bytes_read", bytes.len() as u64);
+        if let Some(e) = leo_fault::should_fire("cache.decode").and_then(leo_fault::Fault::apply_io)
+        {
+            // An injected decode fault takes the verification-failure
+            // path: discard the snapshot and regenerate.
+            leo_obs::log_warn!(
+                "cache: discarding snapshot {}: {e}; regenerating",
+                path.display()
+            );
+            leo_obs::metrics::counter_add("cache.invalid", 1);
+            leo_obs::metrics::counter_add("cache.miss", 1);
+            leo_trace::instant("cache.invalid");
+            leo_trace::instant("cache.miss");
+            return None;
+        }
         match decode_container(schema, key, &bytes) {
             Ok(payload) => {
                 leo_obs::metrics::counter_add("cache.hit", 1);
@@ -244,26 +258,15 @@ impl SnapshotStore {
     }
 
     /// Saves a snapshot payload (best-effort: failures warn, the run
-    /// continues uncached). The write lands in a process-unique temp
-    /// file and renames into place.
+    /// continues uncached). The write goes through
+    /// `leo_fault::safe_io::write_atomic` — staged to a process-unique
+    /// temp file, fsynced, renamed into place, with bounded retry on
+    /// transient (or injected) errors.
     pub fn save(&self, kind: &str, key: u64, schema: u32, payload: &[u8]) {
-        if let Err(e) = fs::create_dir_all(&self.dir) {
-            leo_obs::log_warn!("cache: cannot create {}: {e}", self.dir.display());
-            return;
-        }
         let bytes = encode_container(schema, key, payload);
         let path = self.path_for(kind, key);
-        let tmp = self
-            .dir
-            .join(format!("{kind}-{key:016x}.tmp.{}", std::process::id()));
-        if let Err(e) = fs::write(&tmp, &bytes) {
-            leo_obs::log_warn!("cache: cannot write {}: {e}", tmp.display());
-            let _ = fs::remove_file(&tmp);
-            return;
-        }
-        if let Err(e) = fs::rename(&tmp, &path) {
-            leo_obs::log_warn!("cache: cannot publish {}: {e}", path.display());
-            let _ = fs::remove_file(&tmp);
+        if let Err(e) = leo_fault::safe_io::write_atomic(&path, &bytes) {
+            leo_obs::log_warn!("cache: cannot write {}: {e}", path.display());
             return;
         }
         leo_obs::metrics::counter_add("cache.bytes_written", payload.len() as u64);

@@ -1,0 +1,257 @@
+//! Stage checkpoint/resume: `<out>/run_checkpoint.json`.
+//!
+//! After every completed pipeline stage the CLI rewrites (atomically)
+//! a checkpoint document recording the stage and the FNV-1a64 checksum
+//! of each artifact it wrote. `divide --resume` loads the document,
+//! verifies it belongs to the same logical run (`run_key` =
+//! hash of command, scale, seed, and workspace version), re-hashes the
+//! artifacts on disk, and skips every stage that still verifies — so a
+//! run killed mid-`all` completes incrementally with byte-identical
+//! artifacts.
+//!
+//! The document is deliberately free of anything nondeterministic
+//! (no timestamps, thread counts, or cache state) and renders stages
+//! sorted by name, so an uninterrupted run and a resumed run produce
+//! byte-identical checkpoints too.
+
+use leo_obs::json::Json;
+use std::collections::{BTreeMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Checkpoint document schema tag.
+pub const SCHEMA: &str = "divide/checkpoint/v1";
+
+/// Artifact (name, fnv1a64 hex) pairs recorded for one stage.
+type StageArtifacts = Vec<(String, String)>;
+
+struct State {
+    path: PathBuf,
+    out: PathBuf,
+    run_key: String,
+    /// Completed stages -> artifact checksums, sorted by stage name
+    /// for deterministic rendering.
+    stages: BTreeMap<String, StageArtifacts>,
+    /// Stages `--resume` verified and will skip.
+    skip: HashSet<String>,
+}
+
+static STATE: Mutex<Option<State>> = Mutex::new(None);
+
+/// Artifacts written by the stage currently running, drained into the
+/// checkpoint when the stage completes.
+static WRITES: Mutex<StageArtifacts> = Mutex::new(Vec::new());
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The checkpoint identity of one logical run. Cache state, thread
+/// count, and flags that cannot change artifact bytes are excluded on
+/// purpose: a resume is valid across any of them.
+pub fn run_key(command: &str, scale: &str, seed: u64) -> String {
+    let identity = format!(
+        "{SCHEMA}|{command}|{scale}|{seed}|{}",
+        env!("CARGO_PKG_VERSION")
+    );
+    format!("{:016x}", leo_fault::fnv1a64(identity.as_bytes()))
+}
+
+/// Hex checksum of artifact bytes (same FNV-1a64 the cache uses).
+pub fn checksum(bytes: &[u8]) -> String {
+    format!("{:016x}", leo_fault::fnv1a64(bytes))
+}
+
+/// Activates checkpointing for this run. With `resume`, loads and
+/// verifies an existing checkpoint and returns how many stages will be
+/// skipped; a missing/foreign/corrupt checkpoint just means "run
+/// everything".
+pub fn init(out: &Path, command: &str, scale: &str, seed: u64, resume: bool) -> usize {
+    let mut state = State {
+        path: out.join("run_checkpoint.json"),
+        out: out.to_path_buf(),
+        run_key: run_key(command, scale, seed),
+        stages: BTreeMap::new(),
+        skip: HashSet::new(),
+    };
+    if resume {
+        match load_verified(&state.path, &state.run_key, &state.out) {
+            Ok(stages) => {
+                for (name, artifacts) in stages {
+                    state.skip.insert(name.clone());
+                    state.stages.insert(name, artifacts);
+                }
+            }
+            Err(why) => {
+                leo_obs::log_warn!("resume: {why}; running every stage");
+            }
+        }
+    }
+    let skipped = state.skip.len();
+    *lock(&STATE) = Some(state);
+    lock(&WRITES).clear();
+    skipped
+}
+
+/// True when `--resume` verified this stage as already complete.
+pub fn should_skip(name: &str) -> bool {
+    lock(&STATE)
+        .as_ref()
+        .map(|s| s.skip.contains(name))
+        .unwrap_or(false)
+}
+
+/// Records one artifact written by the currently-running stage.
+pub fn record_write(name: &str, bytes: &[u8]) {
+    if lock(&STATE).is_some() {
+        lock(&WRITES).push((name.to_string(), checksum(bytes)));
+    }
+}
+
+/// Marks a stage complete: drains its recorded artifact writes into
+/// the document and rewrites the checkpoint atomically. A failed
+/// checkpoint write degrades bookkeeping (counted, manifested), never
+/// the run.
+pub fn complete_stage(name: &str) {
+    let mut state = lock(&STATE);
+    let Some(state) = state.as_mut() else {
+        return;
+    };
+    let writes: StageArtifacts = lock(&WRITES).drain(..).collect();
+    state.stages.insert(name.to_string(), writes);
+    let doc = render(state);
+    if let Err(e) = leo_fault::safe_io::write_atomic(&state.path, doc.render_pretty().as_bytes()) {
+        leo_obs::log_warn!("cannot write checkpoint {}: {e}", state.path.display());
+        leo_fault::degrade("checkpoint", &e.to_string());
+    }
+}
+
+fn render(state: &State) -> Json {
+    let mut stages = Vec::new();
+    for (name, artifacts) in &state.stages {
+        let arts: Vec<Json> = artifacts
+            .iter()
+            .map(|(n, h)| {
+                Json::obj()
+                    .set("name", n.as_str())
+                    .set("fnv1a64", h.as_str())
+            })
+            .collect();
+        stages.push(
+            Json::obj()
+                .set("name", name.as_str())
+                .set("artifacts", Json::Arr(arts)),
+        );
+    }
+    Json::obj()
+        .set("schema", SCHEMA)
+        .set("run_key", state.run_key.as_str())
+        .set("stages", Json::Arr(stages))
+}
+
+/// Loads a checkpoint and returns the stages whose recorded artifacts
+/// all still verify on disk; stages that fail verification are dropped
+/// (they rerun). Errors describe why the whole document is unusable.
+fn load_verified(
+    path: &Path,
+    expected_key: &str,
+    out: &Path,
+) -> Result<Vec<(String, StageArtifacts)>, String> {
+    let body = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = Json::parse(&body).map_err(|e| format!("cannot parse {}: {e}", path.display()))?;
+    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!("{} has an unknown schema", path.display()));
+    }
+    let Some(found_key) = doc.get("run_key").and_then(Json::as_str) else {
+        return Err(format!("{} has no run_key", path.display()));
+    };
+    if found_key != expected_key {
+        return Err(format!(
+            "{} belongs to a different run (command/scale/seed/version changed)",
+            path.display()
+        ));
+    }
+    let Some(Json::Arr(stages)) = doc.get("stages") else {
+        return Err(format!("{} has no stages array", path.display()));
+    };
+    let mut verified = Vec::new();
+    for stage in stages {
+        let Some(name) = stage.get("name").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(Json::Arr(artifacts)) = stage.get("artifacts") else {
+            continue;
+        };
+        let mut list = Vec::new();
+        let mut ok = true;
+        for artifact in artifacts {
+            let (Some(file), Some(want)) = (
+                artifact.get("name").and_then(Json::as_str),
+                artifact.get("fnv1a64").and_then(Json::as_str),
+            ) else {
+                ok = false;
+                break;
+            };
+            match std::fs::read(out.join(file)) {
+                Ok(bytes) if checksum(&bytes) == want => {
+                    list.push((file.to_string(), want.to_string()));
+                }
+                _ => {
+                    leo_obs::log_info!(
+                        "resume: artifact {file} missing or changed; stage {name} will rerun"
+                    );
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            verified.push((name.to_string(), list));
+        }
+    }
+    Ok(verified)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_key_separates_runs_and_is_stable() {
+        let a = run_key("all", "small", 7);
+        assert_eq!(a, run_key("all", "small", 7));
+        assert_ne!(a, run_key("fig2", "small", 7));
+        assert_ne!(a, run_key("all", "paper", 7));
+        assert_ne!(a, run_key("all", "small", 8));
+    }
+
+    #[test]
+    fn checkpoint_round_trip_skips_verified_stages_only() {
+        let dir = std::env::temp_dir().join(format!("divide-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create test dir");
+        std::fs::write(dir.join("good.csv"), b"x,y\n1,2\n").expect("write");
+        std::fs::write(dir.join("tampered.csv"), b"x,y\n9,9\n").expect("write");
+        // First run: two stages complete, then the process "dies".
+        init(&dir, "all", "small", 7, false);
+        record_write("good.csv", b"x,y\n1,2\n");
+        complete_stage("alpha");
+        record_write("tampered.csv", b"ORIGINAL BYTES\n");
+        complete_stage("beta");
+        complete_stage("gamma"); // stdout-only stage, no artifacts
+        assert!(dir.join("run_checkpoint.json").exists());
+        // Resume: alpha verifies, beta's artifact changed on disk,
+        // gamma has nothing to verify.
+        let skipped = init(&dir, "all", "small", 7, true);
+        assert_eq!(skipped, 2);
+        assert!(should_skip("alpha"));
+        assert!(!should_skip("beta"), "tampered artifact forces a rerun");
+        assert!(should_skip("gamma"));
+        // A different command must not resume from this checkpoint.
+        let skipped = init(&dir, "fig2", "small", 7, true);
+        assert_eq!(skipped, 0);
+        *lock(&STATE) = None;
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -39,6 +39,7 @@
 //! through the leveled `leo-obs` logger (`DIVIDE_LOG`, `--quiet`,
 //! `-v`); none of the instrumentation ever changes artifact bytes.
 
+mod checkpoint;
 mod history_cmd;
 mod report_cmd;
 
@@ -95,6 +96,15 @@ options:
                        never changes artifact bytes
   --progress           print a one-line stage progress ticker to
                        stderr (TTY only; DIVIDE_PROGRESS=force)
+  --fault-plan SPEC    inject seeded deterministic faults at named
+                       sites (robustness testing); SPEC grammar:
+                       seed=N;site:p=F|nth=N[,mode=err|panic|delay]
+                       [,delay_ms=N]  sites: io.write io.rename
+                       io.fsync cache.decode ledger.append pool.chunk
+                       stage.<name>
+  --resume             skip pipeline stages whose artifacts verify
+                       against <out>/run_checkpoint.json (same
+                       command, scale, seed, and version)
   --quiet, -q          only warnings and errors on stderr
   -v, --verbose        debug-level progress on stderr
   -h, --help           print this help and exit
@@ -126,6 +136,22 @@ environment:
                        telemetry in manifest, ledger, and trace)
   DIVIDE_LEDGER        run-ledger destination; 'off' disables the
                        append (default: <cache>/runs.jsonl)
+  DIVIDE_FAULT         fault plan applied when --fault-plan is absent
+                       (same SPEC grammar)
+  DIVIDE_POOL_TIMEOUT_MS
+                       worker-pool watchdog: per-fan-out deadline in
+                       milliseconds; a stalled fan-out reports the
+                       stuck chunk/lane and exits 1 (default: 0, wait
+                       forever)
+
+exit codes:
+  0    success (observability may be degraded; see the manifest's
+       'degraded' section)
+  1    runtime failure: I/O error after retries, stage abort or
+       panic, pool stall
+  2    usage error
+  3    perf regression detected by report/history
+  130  interrupted by SIGINT/SIGTERM (registered temp files cleaned)
 
 commands:
   table1          single-satellite capacity model
@@ -177,6 +203,8 @@ fn main() {
     // Some(Some(p)) = trace to p.
     let mut trace: Option<Option<PathBuf>> = None;
     let mut progress = false;
+    let mut fault_spec: Option<String> = None;
+    let mut resume = false;
     let mut report = report_cmd::ReportOpts {
         baseline: PathBuf::new(),
         candidate: PathBuf::new(),
@@ -222,6 +250,13 @@ fn main() {
             }
             "--trace" => trace = Some(None),
             "--progress" => progress = true,
+            "--fault-plan" => {
+                fault_spec = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--fault-plan needs a value")),
+                )
+            }
+            "--resume" => resume = true,
             "--baseline" => {
                 report.baseline = PathBuf::from(
                     args.next()
@@ -347,6 +382,48 @@ fn main() {
             min_wall_ms: report.min_wall_ms,
         }));
     }
+    // Fault injection: the --fault-plan flag wins, then $DIVIDE_FAULT.
+    // An unparsable plan is a usage error (exit 2) — silently running
+    // *without* the faults a chaos harness asked for would make every
+    // "survived the plan" result meaningless.
+    let fault_spec =
+        fault_spec.or_else(|| std::env::var("DIVIDE_FAULT").ok().filter(|v| !v.is_empty()));
+    if let Some(spec) = fault_spec {
+        match leo_fault::FaultPlan::parse(&spec) {
+            Ok(plan) => {
+                leo_obs::log_info!("fault plan active: {plan}");
+                leo_fault::set_plan(Some(plan));
+                // With faults active, injected panics are an expected
+                // outcome: report them as one typed line instead of the
+                // default "thread panicked at ..." + backtrace, so a
+                // chaos harness can assert clean typed failures.
+                // Plan-less runs keep the default hook (and its
+                // backtraces) for genuine bugs.
+                std::panic::set_hook(Box::new(|info| {
+                    let msg = info
+                        .payload()
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "stage aborted".to_string());
+                    eprintln!("divide: fatal: {msg}");
+                }));
+            }
+            Err(e) => usage(&format!("invalid fault plan: {e}")),
+        }
+    }
+    // Pool watchdog deadline; 0 or unset waits forever (the default —
+    // a deadline only makes sense when something can wedge a worker).
+    if let Ok(v) = std::env::var("DIVIDE_POOL_TIMEOUT_MS") {
+        if !v.is_empty() && !v.eq_ignore_ascii_case("off") {
+            match v.parse::<u64>() {
+                Ok(ms) => leo_parallel::pool::set_stall_timeout_ms(ms),
+                Err(_) => usage("DIVIDE_POOL_TIMEOUT_MS expects an integer (milliseconds)"),
+            }
+        }
+    }
+    // Clean up registered temp files and exit 130 on SIGINT/SIGTERM.
+    leo_fault::signal::install();
     // The --trace flag wins; otherwise $DIVIDE_TRACE enables tracing
     // ("1"/truthy) or names the trace file directly (path-like value).
     if trace.is_none() {
@@ -405,8 +482,19 @@ fn main() {
         leo_obs::log_error!("cannot create output directory {}: {e}", out.display());
         std::process::exit(1);
     }
+    // Remove *.tmp staging files orphaned by a previous crashed or
+    // killed run (only provably-dead owners; see safe_io).
+    let swept = leo_fault::safe_io::sweep_orphan_tmp(&out);
 
     let resolved_cache = resolve_cache_dir(no_cache, &cache_dir, &out);
+    let swept = swept
+        + resolved_cache
+            .as_deref()
+            .map(leo_fault::safe_io::sweep_orphan_tmp)
+            .unwrap_or(0);
+    if swept > 0 {
+        leo_obs::log_info!("removed {swept} orphaned .tmp file(s) from a previous run");
+    }
     let ledger_path = resolve_ledger(ledger_flag, resolved_cache.as_deref());
     let cache = resolved_cache.map(DatasetCache::new);
 
@@ -416,6 +504,10 @@ fn main() {
         SynthConfig::small()
     };
     let seed = cfg.seed;
+    let skipped = checkpoint::init(&out, &command, &scale, seed, resume);
+    if skipped > 0 {
+        leo_obs::log_info!("resume: {skipped} stage(s) already complete and verified");
+    }
     match &cache {
         Some(c) => leo_obs::log_info!(
             "preparing {scale}-scale dataset (cache at {})...",
@@ -423,13 +515,25 @@ fn main() {
         ),
         None => leo_obs::log_info!("generating {scale}-scale dataset (cache disabled)..."),
     }
+    // The dataset build runs outside stage() but fans out on the
+    // worker pool, so an injected pool.chunk panic would otherwise
+    // unwind straight through main (exit 101, untyped).
     let model = {
         let _stage = leo_obs::span!("stage.dataset");
-        let ds = match &cache {
-            Some(c) => c.load_or_generate(&cfg),
-            None => BroadbandDataset::generate(&cfg),
-        };
-        PaperModel::new(ds)
+        let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let ds = match &cache {
+                Some(c) => c.load_or_generate(&cfg),
+                None => BroadbandDataset::generate(&cfg),
+            };
+            PaperModel::new(ds)
+        }));
+        match built {
+            Ok(model) => model,
+            Err(_) => {
+                leo_obs::log_error!("dataset build aborted; no artifacts written");
+                std::process::exit(1);
+            }
+        }
     };
     leo_obs::log_info!(
         "dataset: {} locations in {} demand cells ({} US cells)",
@@ -484,16 +588,11 @@ fn main() {
         argv,
     };
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
-    let manifest_path = out.join("run_manifest.json");
-    match manifest::write_json(&manifest_path, &manifest::run_manifest(&info, wall_ms)) {
-        Ok(()) => leo_obs::log_info!("wrote {}", manifest_path.display()),
-        // The artifacts themselves landed; a missing manifest degrades
-        // reproducibility bookkeeping, not results.
-        Err(e) => leo_obs::log_warn!("cannot write {}: {e}", manifest_path.display()),
-    }
-    // Append this run to the history ledger (`divide history` trends
-    // over it). Like the manifest, a failed append degrades
-    // bookkeeping, never the run's results or exit code.
+    // Observability writers run before the manifest so their failures
+    // (counted via leo_fault::degrade) land in its `degraded` section.
+    // None of them can fail the run: the artifacts themselves already
+    // landed, and a dead ledger/trace/metrics file degrades
+    // bookkeeping, not results.
     if leo_obs::enabled() {
         if let Some(path) = &ledger_path {
             let ts = std::time::SystemTime::now()
@@ -504,7 +603,10 @@ fn main() {
             let record = leo_obs::ledger::build_record(&info, wall_ms, ts, git.as_deref());
             match leo_obs::ledger::append(path, &record) {
                 Ok(()) => leo_obs::log_info!("appended run to {}", path.display()),
-                Err(e) => leo_obs::log_warn!("cannot append to {}: {e}", path.display()),
+                Err(e) => {
+                    leo_obs::log_warn!("cannot append to {}: {e}", path.display());
+                    leo_fault::degrade("ledger", &e.to_string());
+                }
             }
         }
     }
@@ -512,8 +614,8 @@ fn main() {
         match manifest::write_json(&path, &manifest::bench_record(&info, wall_ms)) {
             Ok(()) => leo_obs::log_info!("wrote {}", path.display()),
             Err(e) => {
-                leo_obs::log_error!("cannot write {}: {e}", path.display());
-                std::process::exit(1);
+                leo_obs::log_warn!("cannot write {}: {e}", path.display());
+                leo_fault::degrade("metrics", &e.to_string());
             }
         }
     }
@@ -527,11 +629,16 @@ fn main() {
             match result {
                 Ok(()) => leo_obs::log_info!("wrote {}", path.display()),
                 Err(e) => {
-                    leo_obs::log_error!("cannot write {}: {e}", path.display());
-                    std::process::exit(1);
+                    leo_obs::log_warn!("cannot write {}: {e}", path.display());
+                    leo_fault::degrade("trace", &e.to_string());
                 }
             }
         }
+    }
+    let manifest_path = out.join("run_manifest.json");
+    match manifest::write_json(&manifest_path, &manifest::run_manifest(&info, wall_ms)) {
+        Ok(()) => leo_obs::log_info!("wrote {}", manifest_path.display()),
+        Err(e) => leo_obs::log_warn!("cannot write {}: {e}", manifest_path.display()),
     }
 }
 
@@ -588,10 +695,43 @@ fn resolve_ledger(explicit: Option<PathBuf>, cache_dir: Option<&Path>) -> Option
 
 /// Runs one pipeline stage under a `stage.<name>` span; the manifest's
 /// per-stage wall-clock table is derived from exactly these spans.
+///
+/// Robustness wrapping, in order: `--resume` skips stages the
+/// checkpoint already verified; an active fault plan may inject a
+/// `stage.<name>` fault (delay, typed error, or panic); any panic that
+/// escapes the stage body — injected or genuine — becomes a typed
+/// exit 1 instead of unwinding through main; and a cleanly completed
+/// stage checkpoints itself with the artifacts it wrote.
 fn stage(name: &str, f: impl FnOnce()) {
+    if checkpoint::should_skip(name) {
+        leo_obs::log_info!("resume: skipping completed stage {name}");
+        return;
+    }
     let _span = leo_obs::span::enter(&format!("stage.{name}"));
     leo_obs::log_debug!("stage {name}");
-    f();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if leo_fault::active() {
+            if let Some(fault) = leo_fault::should_fire(&format!("stage.{name}")) {
+                if let Some(e) = fault.apply_io() {
+                    return Err(e);
+                }
+            }
+        }
+        f();
+        Ok(())
+    }));
+    match outcome {
+        Ok(Ok(())) => checkpoint::complete_stage(name),
+        Ok(Err(e)) => {
+            leo_obs::log_error!("stage {name} aborted: {e}");
+            std::process::exit(1);
+        }
+        Err(_) => {
+            // The panic hook already reported the payload.
+            leo_obs::log_error!("stage {name} aborted by panic");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn strict_cmd(model: &PaperModel, out: &Path) {
@@ -948,10 +1088,13 @@ fn export(model: &PaperModel, out: &Path) {
 
 fn write(out: &Path, name: &str, content: &str) {
     let path = out.join(name);
-    if let Err(e) = std::fs::write(&path, content) {
+    // Atomic tmp+rename with bounded retry: a crash or injected fault
+    // mid-write can never leave a torn artifact under the final name.
+    if let Err(e) = leo_fault::safe_io::write_atomic(&path, content.as_bytes()) {
         leo_obs::log_error!("cannot write {}: {e}", path.display());
         std::process::exit(1);
     }
+    checkpoint::record_write(name, content.as_bytes());
     // Artifact writes join the uniform io.* metric family the snapshot
     // store feeds, so the manifest accounts for all file traffic.
     leo_obs::metrics::counter_add("io.write_calls", 1);

@@ -552,6 +552,267 @@ fn no_trace_flag_writes_no_trace_files() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Byte-compares two artifact directories, ignoring the named files
+/// (manifest and checkpoint carry timings / may be degraded by
+/// injected faults; everything else must match exactly).
+fn assert_dirs_identical(a: &Path, b: &Path, exclude: &[&str]) {
+    let names = |dir: &Path| -> Vec<String> {
+        let mut v: Vec<String> = std::fs::read_dir(dir)
+            .expect("read dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().is_file())
+            .map(|e| e.file_name().to_string_lossy().to_string())
+            .filter(|n| !exclude.contains(&n.as_str()))
+            .collect();
+        v.sort();
+        v
+    };
+    let (na, nb) = (names(a), names(b));
+    assert_eq!(na, nb, "artifact sets differ between {a:?} and {b:?}");
+    for name in &na {
+        let ba = std::fs::read(a.join(name)).expect("read a");
+        let bb = std::fs::read(b.join(name)).expect("read b");
+        assert_eq!(ba, bb, "artifact {name} differs between {a:?} and {b:?}");
+    }
+}
+
+#[test]
+fn resume_completes_an_interrupted_run_byte_identically() {
+    let reference = tmp("resume_ref");
+    let out = run(divide()
+        .args(["--scale", "small", "--no-cache", "--out"])
+        .arg(&reference)
+        .arg("all"));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Kill the run at stage fig3 via an injected stage fault (the
+    // same shape as a crash after stage 2: earlier stages and their
+    // checkpoint survive, later artifacts don't exist).
+    let dir = tmp("resume_cut");
+    let out = run(divide()
+        .args(["--scale", "small", "--no-cache", "--out"])
+        .arg(&dir)
+        .args(["--fault-plan", "seed=3;stage.fig3:nth=1", "all"]));
+    assert_eq!(out.status.code(), Some(1), "injected stage abort exits 1");
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(
+        stderr.contains("stage fig3 aborted"),
+        "typed abort: {stderr}"
+    );
+    assert!(
+        dir.join("run_checkpoint.json").is_file(),
+        "completed stages checkpointed before the abort"
+    );
+    assert!(
+        !dir.join("fig3_tail.csv").exists(),
+        "aborted stage left no artifact"
+    );
+
+    // Resume: completed stages skip, the rest run, artifacts match an
+    // uninterrupted run byte for byte.
+    let out = run(divide()
+        .args(["--scale", "small", "--no-cache", "--resume", "--out"])
+        .arg(&dir)
+        .arg("all"));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(
+        stderr.contains("resume: skipping completed stage table2"),
+        "verified stages skip: {stderr}"
+    );
+    assert_dirs_identical(&reference, &dir, &["run_manifest.json"]);
+
+    // A second full resume is a no-op for every stage and leaves the
+    // checkpoint byte-identical to the uninterrupted run's.
+    let out = run(divide()
+        .args(["--scale", "small", "--no-cache", "--resume", "--out"])
+        .arg(&dir)
+        .arg("all"));
+    assert!(out.status.success());
+    assert_eq!(
+        std::fs::read(reference.join("run_checkpoint.json")).expect("ref checkpoint"),
+        std::fs::read(dir.join("run_checkpoint.json")).expect("resumed checkpoint"),
+        "checkpoints render identically regardless of interruption"
+    );
+
+    let _ = std::fs::remove_dir_all(&reference);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn degraded_observability_never_fails_the_run() {
+    let dir = tmp("degraded");
+    let cache = dir.join("cache");
+    let out = run(divide()
+        .args(["--scale", "small", "--out"])
+        .arg(&dir)
+        .arg("--cache")
+        .arg(&cache)
+        .env_remove("DIVIDE_LEDGER")
+        .args(["--fault-plan", "seed=9;ledger.append:p=1", "table1"]));
+    assert!(
+        out.status.success(),
+        "dead ledger must not fail the run: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let manifest =
+        Json::parse(&std::fs::read_to_string(dir.join("run_manifest.json")).expect("manifest"))
+            .expect("manifest parses");
+    let degraded = manifest.get("degraded").expect("degraded section present");
+    let reason = degraded.get("ledger").and_then(Json::as_str).unwrap_or("");
+    assert!(
+        reason.contains("injected fault at ledger.append"),
+        "degradation reason recorded: {reason:?}"
+    );
+    let counters = manifest
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .expect("counters");
+    assert!(
+        counters
+            .get("fault.injected")
+            .and_then(Json::as_u64)
+            .is_some_and(|v| v > 0),
+        "fault.* counters merged into the manifest"
+    );
+    assert!(
+        counters
+            .get("degraded.ledger")
+            .and_then(Json::as_u64)
+            .is_some_and(|v| v > 0),
+        "degraded.* counters merged into the manifest"
+    );
+
+    // A fault-free run has no degraded section at all.
+    let clean = tmp("degraded_clean");
+    let out = run(divide()
+        .args(["--scale", "small", "--no-cache", "--out"])
+        .arg(&clean)
+        .arg("table1"));
+    assert!(out.status.success());
+    let manifest =
+        Json::parse(&std::fs::read_to_string(clean.join("run_manifest.json")).expect("manifest"))
+            .expect("manifest parses");
+    assert!(
+        manifest.get("degraded").is_none(),
+        "clean runs carry no degraded section"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&clean);
+}
+
+#[test]
+fn invalid_fault_plan_is_a_usage_error() {
+    for bad in [
+        "no-seed-here",
+        "seed=1;bogus.site:p=0.5",
+        "seed=1;io.write:p=1.5",
+        "seed=1;io.write:nth=0",
+        "seed=1;io.write:p=0.5,mode=frobnicate",
+    ] {
+        let out = run(divide().args(["--fault-plan", bad, "table1"]));
+        assert_eq!(out.status.code(), Some(2), "plan {bad:?} must be usage");
+        let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+        assert!(
+            stderr.contains("invalid fault plan"),
+            "plan {bad:?}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn exhausted_write_retries_exit_typed_and_leave_no_tmp() {
+    let dir = tmp("torn_write");
+    let out = run(divide()
+        .args(["--scale", "small", "--no-cache", "--out"])
+        .arg(&dir)
+        .args(["--fault-plan", "seed=4;io.rename:p=1", "table2"]));
+    assert_eq!(out.status.code(), Some(1), "exhausted retries exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("cannot write"), "typed error: {stderr}");
+    assert!(
+        !stderr.contains("panicked at"),
+        "no raw panic output: {stderr}"
+    );
+    for entry in std::fs::read_dir(&dir).expect("read out dir") {
+        let name = entry
+            .expect("entry")
+            .file_name()
+            .to_string_lossy()
+            .to_string();
+        assert!(
+            !name.contains(".tmp"),
+            "no staging file may survive: {name}"
+        );
+    }
+    assert!(
+        !dir.join("table2.csv").exists(),
+        "no torn artifact under the final name"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn pool_watchdog_names_the_stalled_lane_and_exits_1() {
+    let dir = tmp("watchdog");
+    let out = run(divide()
+        .args(["--scale", "small", "--no-cache", "--threads", "4", "--out"])
+        .arg(&dir)
+        .env("DIVIDE_PAR_THRESHOLD_NS", "0")
+        .env("DIVIDE_POOL_TIMEOUT_MS", "200")
+        .args([
+            "--fault-plan",
+            // nth=2 is the second dispatched chunk — chunk 1, which
+            // runs on a pool worker (chunk 0 runs on the caller, whose
+            // delay could never stall the rendezvous).
+            "seed=2;pool.chunk:nth=2,mode=delay,delay_ms=10000",
+            "table2",
+        ]));
+    assert_eq!(out.status.code(), Some(1), "stall is a typed failure");
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("pool watchdog"), "{stderr}");
+    assert!(stderr.contains("worker-1"), "stalled lane named: {stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[cfg(unix)]
+#[test]
+fn sigint_exits_130() {
+    let dir = tmp("sigint");
+    // An injected 20s stage delay holds the process open long enough
+    // to signal it deterministically.
+    let mut child = divide()
+        .args(["--scale", "small", "--no-cache", "--out"])
+        .arg(&dir)
+        .args([
+            "--fault-plan",
+            "seed=1;stage.table1:nth=1,mode=delay,delay_ms=20000",
+            "table1",
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn divide");
+    std::thread::sleep(std::time::Duration::from_secs(2));
+    let kill = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("send SIGINT");
+    assert!(kill.success(), "kill -INT delivered");
+    let status = child.wait().expect("wait for divide");
+    assert_eq!(status.code(), Some(130), "SIGINT exits 130");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn progress_ticker_obeys_quiet_and_obs_gating() {
     let progress_lines = |out: &Output| {

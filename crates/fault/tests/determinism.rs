@@ -1,0 +1,167 @@
+//! Property-based tests for the fault engine's two load-bearing
+//! contracts:
+//!
+//! 1. **Plans round-trip.** Any plan the canonical `Display` can print
+//!    parses back to a plan that prints identically — so a plan logged
+//!    by one chaos run can be replayed exactly from the log line.
+//! 2. **Decisions are thread-count invariant.** A fault decision is a
+//!    pure function of `(seed, site, call index)`; partitioning the
+//!    same call indices across 1, 4, or 8 threads yields the identical
+//!    injected-failure sequence. This is what lets `--fault-plan`
+//!    reproduce a failure found at `--threads 8` under `--threads 1`.
+
+use leo_fault::{FaultKind, FaultPlan};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// The global fault engine is process-wide; engine-mutating tests in
+/// this binary serialize on this lock.
+static ENGINE_LOCK: Mutex<()> = Mutex::new(());
+
+const SITES: &[&str] = &[
+    "io.write",
+    "io.rename",
+    "io.fsync",
+    "cache.decode",
+    "ledger.append",
+    "pool.chunk",
+    "stage.fig3",
+    "stage.dataset",
+];
+
+const MODES: &[&str] = &["err", "panic", "delay"];
+
+/// One syntactically valid rule, constructed from raw draws. `p` is
+/// quantized to thousandths so the canonical rendering is short.
+fn rule() -> impl Strategy<Value = String> {
+    (
+        0usize..SITES.len(),
+        0u32..=1000,
+        1u64..100,
+        0usize..MODES.len(),
+        0u8..2u8,
+        0u64..50,
+    )
+        .prop_map(|(site, millis, nth, mode, use_prob, delay)| {
+            let trigger = if use_prob == 0 {
+                format!("p={}", millis as f64 / 1000.0)
+            } else {
+                format!("nth={nth}")
+            };
+            format!(
+                "{}:{trigger},mode={},delay_ms={delay}",
+                SITES[site], MODES[mode]
+            )
+        })
+}
+
+/// A full plan spec over *distinct* sites (duplicate sites are a parse
+/// error by design, so the generator indexes a permutation).
+fn plan_spec() -> impl Strategy<Value = String> {
+    (0u64..=u64::MAX, proptest::collection::vec(rule(), 1..5)).prop_map(|(seed, rules)| {
+        let mut seen = std::collections::HashSet::new();
+        let kept: Vec<String> = rules
+            .into_iter()
+            .filter(|r| seen.insert(r.split(':').next().unwrap().to_string()))
+            .collect();
+        format!("seed={seed};{}", kept.join(";"))
+    })
+}
+
+proptest! {
+    #[test]
+    fn plans_round_trip_through_display(spec in plan_spec()) {
+        let plan = FaultPlan::parse(&spec).expect("generated specs are valid");
+        let printed = plan.to_string();
+        let reparsed = FaultPlan::parse(&printed).expect("canonical form reparses");
+        prop_assert_eq!(printed, reparsed.to_string());
+    }
+
+    #[test]
+    fn decisions_are_pure_in_seed_site_and_call(
+        spec in plan_spec(),
+        calls in proptest::collection::vec(0u64..10_000, 1..64),
+    ) {
+        let plan = FaultPlan::parse(&spec).expect("valid");
+        for site in SITES {
+            for &call in &calls {
+                let a = plan.decide(site, call).map(|f| (f.site.clone(), f.kind, f.call));
+                let b = plan.decide(site, call).map(|f| (f.site.clone(), f.kind, f.call));
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+}
+
+/// Runs `n_calls` explicit-index probes against the active engine,
+/// partitioned round-robin over `threads` OS threads, and returns the
+/// decision sequence in call order.
+fn fire_partitioned(threads: u64, n_calls: u64) -> Vec<(u64, Option<(FaultKind, u64)>)> {
+    let results = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let results = &results;
+            scope.spawn(move || {
+                let mut local = Vec::new();
+                for call in (t..n_calls).step_by(threads as usize) {
+                    let hit =
+                        leo_fault::should_fire_at("pool.chunk", call).map(|f| (f.kind, f.call));
+                    local.push((call, hit));
+                }
+                results.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let mut out = results.into_inner().unwrap();
+    out.sort_by_key(|&(call, _)| call);
+    out
+}
+
+#[test]
+fn injected_sequence_is_identical_at_1_4_and_8_threads() {
+    let _guard = ENGINE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // delay_ms=0 so the 8-thread leg doesn't serialize on sleeps.
+    let plan = FaultPlan::parse("seed=42;pool.chunk:p=0.37,mode=delay,delay_ms=0").expect("valid");
+    let mut sequences = Vec::new();
+    for threads in [1u64, 4, 8] {
+        leo_fault::reset();
+        leo_fault::set_plan(Some(plan.clone()));
+        sequences.push(fire_partitioned(threads, 4096));
+        leo_fault::set_plan(None);
+    }
+    assert_eq!(sequences[0], sequences[1], "1 vs 4 threads");
+    assert_eq!(sequences[0], sequences[2], "1 vs 8 threads");
+    let fired = sequences[0].iter().filter(|(_, hit)| hit.is_some()).count();
+    // p=0.37 over 4096 calls: a wildly off count means the decision
+    // function is not actually sampling the probability.
+    assert!(
+        (1000..2000).contains(&fired),
+        "expected ~1515 fired, got {fired}"
+    );
+    // And the engine sequence must agree with the pure function the
+    // proptests pin above.
+    for (call, hit) in &sequences[0] {
+        let pure = plan.decide("pool.chunk", *call).map(|f| (f.kind, f.call));
+        assert_eq!(&pure, hit, "engine vs pure decide at call {call}");
+    }
+    leo_fault::reset();
+}
+
+#[test]
+fn nth_trigger_fires_exactly_once_across_threads() {
+    let _guard = ENGINE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let plan = FaultPlan::parse("seed=7;pool.chunk:nth=100,mode=delay,delay_ms=0").expect("valid");
+    for threads in [1u64, 4, 8] {
+        leo_fault::reset();
+        leo_fault::set_plan(Some(plan.clone()));
+        let seq = fire_partitioned(threads, 512);
+        let fired: Vec<u64> = seq
+            .iter()
+            .filter(|(_, hit)| hit.is_some())
+            .map(|&(call, _)| call)
+            .collect();
+        assert_eq!(fired, vec![99], "at {threads} threads");
+        leo_fault::set_plan(None);
+    }
+    leo_fault::reset();
+}

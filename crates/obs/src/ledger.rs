@@ -100,7 +100,10 @@ pub fn git_describe() -> Option<String> {
 /// creating the file (and parent directories) if needed. The line is
 /// rendered compactly and written with one `write_all` on an
 /// append-mode handle, so concurrent appenders cannot interleave
-/// within a line.
+/// within a line. Transient failures (including injected
+/// `ledger.append` faults) are retried with bounded backoff via
+/// `leo_fault::safe_io::retrying`; each attempt reopens the handle, so
+/// the O_APPEND single-write protocol is preserved.
 pub fn append(path: &Path, record: &Json) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
@@ -109,11 +112,13 @@ pub fn append(path: &Path, record: &Json) -> std::io::Result<()> {
     }
     let mut line = record.render();
     line.push('\n');
-    let mut file = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(path)?;
-    file.write_all(line.as_bytes())
+    leo_fault::safe_io::retrying("ledger.append", || {
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        file.write_all(line.as_bytes())
+    })
 }
 
 /// Reads every parseable record from the ledger at `path`, oldest

@@ -32,6 +32,7 @@ const WORKSPACE_CRATES: &[&str] = &[
     "leo-obs",
     "leo-trace",
     "leo-alloc",
+    "leo-fault",
 ];
 
 /// Identity of one pipeline invocation.
@@ -100,11 +101,24 @@ fn span_tree(spans: &BTreeMap<String, SpanStats>, prefix: &str) -> Json {
     Json::Arr(nodes.into_iter().map(|(_, n)| n).collect())
 }
 
+/// Appends `leo-fault`'s own registry (`fault.*` / `degraded.*`) to a
+/// counters object. The fault crate sits below `leo-obs` in the
+/// dependency order, so its counters live in a private registry and
+/// are merged here; names are disjoint namespaces, sorted within each
+/// source.
+fn with_fault_counters(mut counters: Json) -> Json {
+    for (name, value) in leo_fault::counter_snapshot() {
+        counters = counters.set(&name, value);
+    }
+    counters
+}
+
 fn metrics_json(snap: &MetricsSnapshot) -> Json {
     let mut counters = Json::obj();
     for (name, value) in &snap.counters {
         counters = counters.set(name, *value);
     }
+    counters = with_fault_counters(counters);
     let mut gauges = Json::obj();
     for (name, value) in &snap.gauges {
         gauges = gauges.set(name, *value);
@@ -183,7 +197,7 @@ pub fn run_manifest(info: &RunInfo, wall_ms: f64) -> Json {
             items.push(stage);
         }
     }
-    Json::obj()
+    let mut doc = Json::obj()
         .set("schema", "leo-obs/run-manifest/v1")
         .set("command", info.command.as_str())
         .set("scale", info.scale.as_str())
@@ -203,7 +217,18 @@ pub fn run_manifest(info: &RunInfo, wall_ms: f64) -> Json {
         .set("stages", stages)
         .set("resources", resources_json())
         .set("spans", span_tree(&spans, ""))
-        .set("metrics", metrics_json(&metrics::snapshot()))
+        .set("metrics", metrics_json(&metrics::snapshot()));
+    // Subsystems that shut themselves off instead of failing the run;
+    // absent when everything held.
+    let degraded = leo_fault::degraded_snapshot();
+    if !degraded.is_empty() {
+        let mut section = Json::obj();
+        for (subsystem, reason) in degraded {
+            section = section.set(&subsystem, reason.as_str());
+        }
+        doc = doc.set("degraded", section);
+    }
+    doc
 }
 
 /// The allocator registry keyed by stage name (the `stage.` prefix
@@ -233,6 +258,7 @@ pub fn bench_record(info: &RunInfo, wall_ms: f64) -> Json {
     for (name, value) in &metrics::snapshot().counters {
         counters = counters.set(name, *value);
     }
+    counters = with_fault_counters(counters);
     let mut rec = Json::obj()
         .set("schema", "leo-obs/bench/v1")
         .set("command", info.command.as_str())
@@ -260,14 +286,11 @@ pub fn bench_record(info: &RunInfo, wall_ms: f64) -> Json {
 }
 
 /// Writes a JSON document to `path`, pretty-printed, creating parent
-/// directories as needed.
+/// directories as needed. Atomic: the document is staged to a temp
+/// file and renamed into place (`leo_fault::safe_io`), so a crash
+/// mid-write never leaves a torn manifest.
 pub fn write_json(path: &std::path::Path, doc: &Json) -> std::io::Result<()> {
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)?;
-        }
-    }
-    std::fs::write(path, doc.render_pretty())
+    leo_fault::safe_io::write_atomic(path, doc.render_pretty().as_bytes())
 }
 
 #[cfg(test)]

@@ -35,8 +35,9 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
 
@@ -50,6 +51,81 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
     cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
 }
+
+fn wait_for<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>, dur: Duration) -> MutexGuard<'a, T> {
+    match cv.wait_timeout(guard, dur) {
+        Ok((guard, _)) => guard,
+        Err(poisoned) => poisoned.into_inner().0,
+    }
+}
+
+/// Per-fan-out watchdog deadline in milliseconds; 0 (the default)
+/// disables the watchdog. The CLI wires `DIVIDE_POOL_TIMEOUT_MS` here.
+static STALL_TIMEOUT_MS: AtomicU64 = AtomicU64::new(0);
+
+/// Sets the fan-out watchdog deadline (0 disables).
+pub fn set_stall_timeout_ms(ms: u64) {
+    STALL_TIMEOUT_MS.store(ms, Ordering::Relaxed);
+}
+
+/// The configured fan-out watchdog deadline (0 = off).
+pub fn stall_timeout_ms() -> u64 {
+    STALL_TIMEOUT_MS.load(Ordering::Relaxed)
+}
+
+/// What the watchdog observed when a fan-out blew its deadline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallReport {
+    /// Total time the caller has waited on this fan-out (ms).
+    pub waited_ms: u64,
+    /// Width of the fan-out.
+    pub n_chunks: usize,
+    /// Chunk indices that have not finished, in order.
+    pub stalled_chunks: Vec<usize>,
+}
+
+impl StallReport {
+    /// The `leo-trace` lane names of the stalled chunks (chunk `i`
+    /// executes on lane `worker-<i>`; `worker-0` is the caller).
+    pub fn lanes(&self) -> Vec<String> {
+        self.stalled_chunks
+            .iter()
+            .map(|&c| format!("worker-{c}"))
+            .collect()
+    }
+}
+
+/// What to do about a detected stall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallAction {
+    /// Terminate the process with this exit code (the default, code 1).
+    ///
+    /// Exiting — rather than returning an error — is forced by the
+    /// pool's lifetime-erasure invariant: `run_chunks` may not return
+    /// while a stuck worker could still dereference the borrowed task,
+    /// so a stalled fan-out can end only by the worker finishing or
+    /// the process dying. The typed log line + exit code 1 is the
+    /// "typed error instead of a silent hang".
+    Exit(i32),
+    /// Re-arm the deadline and keep waiting (test instrumentation).
+    KeepWaiting,
+}
+
+type StallHandler = fn(&StallReport) -> StallAction;
+
+static STALL_HANDLER: Mutex<Option<StallHandler>> = Mutex::new(None);
+
+/// Overrides what a detected stall does (`None` restores the default
+/// log-and-exit-1). Tests install a `KeepWaiting` recorder.
+pub fn set_stall_handler(handler: Option<StallHandler>) {
+    *lock(&STALL_HANDLER) = handler;
+}
+
+/// Sequential dispatch counter behind `pool.chunk` injection call
+/// indices. Advanced only on the fan-out caller (fan-outs are serial:
+/// nested ones are flattened), so chunk `c` of the `k`-th instrumented
+/// fan-out gets the same index at any `--threads` width.
+static CHUNK_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// One fan-out in flight: the lifetime-erased chunk task plus the
 /// rendezvous state its caller blocks on.
@@ -65,6 +141,12 @@ struct Job {
     done: Condvar,
     /// First panic payload caught in any chunk; resumed on the caller.
     panic: Mutex<Option<PanicPayload>>,
+    /// Per-chunk completion flags (set even on panic), so the watchdog
+    /// can name exactly which chunks are stuck.
+    completed: Vec<AtomicBool>,
+    /// Base `pool.chunk` injection index for this fan-out (chunk `c`
+    /// checks index `base + c`); `None` when no fault plan is active.
+    fault_base: Option<u64>,
 }
 
 // SAFETY: `task` targets a `Sync` closure, so sharing and calling it
@@ -87,13 +169,27 @@ impl Job {
         // rendezvous and the closure is alive.
         #[allow(unsafe_code)]
         let task = unsafe { &*self.task };
-        let outcome = catch_unwind(AssertUnwindSafe(|| crate::with_threads(1, || task(chunk))));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            crate::with_threads(1, || {
+                if let Some(base) = self.fault_base {
+                    if let Some(fault) =
+                        leo_fault::should_fire_at("pool.chunk", base + chunk as u64)
+                    {
+                        // Delay sleeps here (feeding the watchdog);
+                        // err/panic unwind into the catch below.
+                        fault.apply_chunk();
+                    }
+                }
+                task(chunk)
+            })
+        }));
         if let Err(payload) = outcome {
             let mut slot = lock(&self.panic);
             if slot.is_none() {
                 *slot = Some(payload);
             }
         }
+        self.completed[chunk].store(true, Ordering::Release);
         let mut pending = lock(&self.pending);
         *pending -= 1;
         if *pending == 0 {
@@ -188,11 +284,21 @@ pub(crate) fn run_chunks(n_chunks: usize, task: &(dyn Fn(usize) + Sync)) {
     // rendezvous. `task` therefore strictly outlives every dereference.
     #[allow(unsafe_code)]
     let task: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
+    // Reserve the fan-out's injection indices up front, on the caller:
+    // dispatch order is serial and deterministic even though chunk
+    // execution is not. One relaxed load when no plan is active.
+    let fault_base = if leo_fault::active() {
+        Some(CHUNK_SEQ.fetch_add(n_chunks as u64, Ordering::Relaxed))
+    } else {
+        None
+    };
     let job = Arc::new(Job {
         task,
         pending: Mutex::new(n_chunks),
         done: Condvar::new(),
         panic: Mutex::new(None),
+        completed: (0..n_chunks).map(|_| AtomicBool::new(false)).collect(),
+        fault_base,
     });
     if n_chunks > 1 {
         let pool = lock(&POOL);
@@ -203,14 +309,71 @@ pub(crate) fn run_chunks(n_chunks: usize, task: &(dyn Fn(usize) + Sync)) {
         }
     }
     job.run(0);
-    let mut pending = lock(&job.pending);
-    while *pending > 0 {
-        pending = wait(&job.done, pending);
-    }
-    drop(pending);
+    rendezvous(&job, n_chunks);
     let panicked = lock(&job.panic).take();
     if let Some(payload) = panicked {
         std::panic::resume_unwind(payload);
+    }
+}
+
+/// Blocks until every chunk of `job` has finished. With a watchdog
+/// deadline configured, detects stuck chunks, names them (chunk and
+/// lane), and applies the stall handler — by default a typed error
+/// line and `exit(1)`, because returning early would dangle the
+/// borrowed task (see [`StallAction::Exit`]).
+fn rendezvous(job: &Job, n_chunks: usize) {
+    let timeout_ms = stall_timeout_ms();
+    let mut pending = lock(&job.pending);
+    if timeout_ms == 0 {
+        while *pending > 0 {
+            pending = wait(&job.done, pending);
+        }
+        return;
+    }
+    let per_wait = Duration::from_millis(timeout_ms);
+    let mut deadline = Instant::now() + per_wait;
+    let mut waited_ms = timeout_ms;
+    while *pending > 0 {
+        let now = Instant::now();
+        if now < deadline {
+            pending = wait_for(&job.done, pending, deadline - now);
+            continue;
+        }
+        let stalled_chunks: Vec<usize> = (0..n_chunks)
+            .filter(|&c| !job.completed[c].load(Ordering::Acquire))
+            .collect();
+        drop(pending);
+        let report = StallReport {
+            waited_ms,
+            n_chunks,
+            stalled_chunks,
+        };
+        if leo_obs::enabled() {
+            leo_obs::metrics::counter_add("parallel.pool_stalls", 1);
+        }
+        let handler = *lock(&STALL_HANDLER);
+        let action = match handler {
+            Some(h) => h(&report),
+            None => StallAction::Exit(1),
+        };
+        match action {
+            StallAction::Exit(code) => {
+                leo_obs::log_error!(
+                    "pool watchdog: fan-out of {} chunks stalled after {} ms: chunk(s) {:?} (lane(s) {:?}) never finished; exiting {}",
+                    report.n_chunks,
+                    report.waited_ms,
+                    report.stalled_chunks,
+                    report.lanes(),
+                    code
+                );
+                std::process::exit(code);
+            }
+            StallAction::KeepWaiting => {
+                deadline = Instant::now() + per_wait;
+                waited_ms += timeout_ms;
+                pending = lock(&job.pending);
+            }
+        }
     }
 }
 
@@ -244,5 +407,68 @@ mod tests {
     fn prewarm_spawns_workers_up_front() {
         prewarm(3);
         assert!(pool_size() >= 2, "prewarm(3) keeps >= 2 pool workers");
+    }
+
+    /// Reports captured by the `KeepWaiting` test handler (watchdog
+    /// state is process-global, so the recorder is too).
+    static STALL_REPORTS: Mutex<Vec<StallReport>> = Mutex::new(Vec::new());
+
+    fn record_and_wait(report: &StallReport) -> StallAction {
+        lock(&STALL_REPORTS).push(report.clone());
+        StallAction::KeepWaiting
+    }
+
+    #[test]
+    fn watchdog_names_the_stalled_chunk_and_lane() {
+        // Width 5 tags this fan-out's reports; other tests in this
+        // binary never fan out 5 wide while a watchdog is armed.
+        const WIDTH: usize = 5;
+        set_stall_handler(Some(record_and_wait));
+        set_stall_timeout_ms(40);
+        run_chunks(WIDTH, &|c| {
+            if c == 3 {
+                std::thread::sleep(Duration::from_millis(220));
+            }
+        });
+        set_stall_timeout_ms(0);
+        set_stall_handler(None);
+        let reports: Vec<StallReport> = lock(&STALL_REPORTS)
+            .drain(..)
+            .filter(|r| r.n_chunks == WIDTH)
+            .collect();
+        assert!(
+            !reports.is_empty(),
+            "a 220 ms chunk under a 40 ms deadline trips the watchdog"
+        );
+        let last = reports.last().expect("nonempty");
+        assert_eq!(last.stalled_chunks, vec![3], "only chunk 3 is stuck");
+        assert_eq!(last.lanes(), vec!["worker-3".to_string()]);
+        assert!(last.waited_ms >= 40);
+    }
+
+    #[test]
+    fn injected_chunk_faults_are_keyed_by_dispatch_order() {
+        let plan = leo_fault::FaultPlan::parse("seed=11;pool.chunk:p=0.5,mode=delay,delay_ms=0")
+            .expect("plan parses");
+        // The decision for dispatch index k is pure; collect the
+        // expected pattern first.
+        let expected: Vec<bool> = (0..8)
+            .map(|k| plan.decide("pool.chunk", k).is_some())
+            .collect();
+        assert!(expected.iter().any(|&f| f), "p=0.5 fires in 8 draws");
+        leo_fault::set_plan(Some(plan));
+        let before = leo_fault::counter_value("fault.injected.pool.chunk");
+        run_chunks(4, &|_| {});
+        run_chunks(4, &|_| {});
+        let after = leo_fault::counter_value("fault.injected.pool.chunk");
+        leo_fault::set_plan(None);
+        // Other tests in this binary may fan out concurrently while the
+        // plan is briefly active, so dispatch indices are not exclusively
+        // ours; assert the site is wired and fires, not an exact count
+        // (the index->decision purity is pinned in leo-fault itself).
+        assert!(
+            after > before,
+            "p=0.5 over 8 dispatched chunks injects at least once"
+        );
     }
 }

@@ -139,24 +139,15 @@ pub fn folded_stacks() -> String {
 /// Writes [`chrome_trace`] to `path` (compact JSON — paper-scale
 /// traces stay small, but pretty-printing would triple the bytes).
 pub fn write_chrome(path: &Path) -> std::io::Result<()> {
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)?;
-        }
-    }
     let mut body = chrome_trace().render();
     body.push('\n');
-    std::fs::write(path, body)
+    leo_fault::safe_io::write_atomic(path, body.as_bytes())
 }
 
-/// Writes [`folded_stacks`] to `path`.
+/// Writes [`folded_stacks`] to `path` (atomic tmp+rename, like every
+/// artifact writer).
 pub fn write_folded(path: &Path) -> std::io::Result<()> {
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)?;
-        }
-    }
-    std::fs::write(path, folded_stacks())
+    leo_fault::safe_io::write_atomic(path, folded_stacks().as_bytes())
 }
 
 #[cfg(test)]

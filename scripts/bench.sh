@@ -6,9 +6,11 @@
 # records both wall-clocks so the snapshot cache's win is a tracked
 # number, not an anecdote. Extra warm runs (best of 3, --trace vs
 # plain, at both thread counts) record the timeline recorder's
-# overhead, and a DIVIDE_ALLOC=off leg records the tracking
-# allocator's overhead — gated below 2% (BENCH_ALLOC_GATE_PCT), the
-# budget DESIGN.md §12 promises. The JSON also carries a `host`
+# overhead, a DIVIDE_ALLOC=off leg records the tracking allocator's
+# overhead — gated below 2% (BENCH_ALLOC_GATE_PCT), the budget
+# DESIGN.md §12 promises — and an inert-fault-plan leg records the
+# fault-injection sites' overhead, gated below 1%
+# (BENCH_FAULT_GATE_PCT, DESIGN.md §13). The JSON also carries a `host`
 # section (cpu_cores, kernel) so numbers from different boxes are
 # never compared blind.
 #
@@ -123,6 +125,31 @@ done
 diff -r --exclude run_manifest.json "$work/warm-1" "$work/alloc-off-rep" \
     || { echo "[bench] DIVIDE_ALLOC=off changed artifact bytes" >&2; exit 1; }
 
+# Fault-injection overhead: every choke point (io.*, cache.decode,
+# ledger.append, pool.chunk, stage.*) probes the fault engine on every
+# call; with no plan active that probe is a single relaxed atomic load,
+# and with an *inert* plan active (p=0, so nothing ever fires) it adds
+# one hash-and-compare per call. The budget is < 1% (DESIGN.md §13).
+# Same estimator as the allocator leg above: order-alternating
+# single-threaded warm pairs, min-vs-min CPU time.
+echo "[bench] divide --scale paper all --threads 1 (warm, inert fault plan on/off, 10 pairs)"
+fault_leg() { # $1 = on|off, $2 = rep index
+    local plan=""
+    [ "$1" = on ] && plan="seed=1;io.write:p=0,mode=err"
+    DIVIDE_FAULT="$plan" ./target/release/divide --scale paper all \
+        --out "$work/fault-$1-rep" --cache "$work/cache-1" --threads 1 -q \
+        --metrics-out "$work/fault-$1-rep$2.json" >/dev/null
+}
+for rep in 1 2 3 4 5 6 7 8 9 10; do
+    if [ $((rep % 2)) -eq 1 ]; then
+        fault_leg on "$rep"; fault_leg off "$rep"
+    else
+        fault_leg off "$rep"; fault_leg on "$rep"
+    fi
+done
+diff -r --exclude run_manifest.json "$work/warm-1" "$work/fault-on-rep" \
+    || { echo "[bench] inert fault plan changed artifact bytes" >&2; exit 1; }
+
 python3 - "$work" BENCH_tier1.json <<'PY'
 import json, os, platform, sys
 
@@ -169,6 +196,11 @@ reps = range(1, 11)
 on = min(cost(json.load(open(f"{work}/alloc-on-rep{r}.json"))) for r in reps)
 off = min(cost(json.load(open(f"{work}/alloc-off-rep{r}.json"))) for r in reps)
 result["alloc_overhead_pct"] = round(100.0 * (on - off) / off, 2)
+# Fault-injection overhead: same min-vs-min CPU estimator over the
+# inert-plan on/off pairs (see the fault loop for what "inert" means).
+fon = min(cost(json.load(open(f"{work}/fault-on-rep{r}.json"))) for r in reps)
+foff = min(cost(json.load(open(f"{work}/fault-off-rep{r}.json"))) for r in reps)
+result["fault_overhead_pct"] = round(100.0 * (fon - foff) / foff, 2)
 # Thread scaling: 4-thread wall over 1-thread wall. < 1.0 means the
 # worker pool is paying off; >= 1.0 is the negative-scaling regression
 # the pool was built to fix (gated below on hosts with enough cores).
@@ -186,6 +218,7 @@ for name, run in result["runs"].items():
           f"trace overhead {run['trace_overhead_pct']:+.1f}%, "
           f"peak rss {run['peak_rss_kb']} kB")
 print(f"[bench] allocator overhead (1-thread cpu floor): {result['alloc_overhead_pct']:+.2f}%")
+print(f"[bench] fault-site overhead (1-thread cpu floor): {result['fault_overhead_pct']:+.2f}%")
 scaling = result["thread_scaling"]
 print(f"[bench] thread scaling (threads_4 / threads_1): "
       f"cold {scaling['cold']:.2f}x, warm {scaling['warm']:.2f}x")
@@ -208,6 +241,24 @@ if pct >= budget:
     sys.exit(f"[bench] allocator overhead {pct:+.2f}% >= {budget}% budget "
              "(BENCH_ALLOC_SKIP=1 to bypass)")
 print(f"[bench] allocator-overhead gate passed: {pct:+.2f}% < {budget}%")
+PY
+fi
+
+# Fault-site-overhead gate: the injection probes' budget is < 1%
+# (DESIGN.md §13) — the sites must stay effectively free when no fault
+# ever fires. BENCH_FAULT_SKIP=1 bypasses on a loaded box.
+if [ "${BENCH_FAULT_SKIP:-0}" = "1" ]; then
+    echo "[bench] BENCH_FAULT_SKIP=1: fault-overhead gate skipped"
+else
+    python3 - BENCH_tier1.json "${BENCH_FAULT_GATE_PCT:-1}" <<'PY'
+import json, sys
+
+pct = json.load(open(sys.argv[1]))["fault_overhead_pct"]
+budget = float(sys.argv[2])
+if pct >= budget:
+    sys.exit(f"[bench] fault-site overhead {pct:+.2f}% >= {budget}% budget "
+             "(BENCH_FAULT_SKIP=1 to bypass)")
+print(f"[bench] fault-overhead gate passed: {pct:+.2f}% < {budget}%")
 PY
 fi
 

@@ -12,4 +12,50 @@ cargo fmt --all --check
 echo "[lint] cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "[lint] unwrap/expect deny-list (scripts/unwrap_allowlist.txt)"
+# A panic on bad input is not a typed failure (DESIGN.md §13): new
+# non-test code must return errors. Provable invariants go on the
+# allowlist, keyed by "<path>: <trimmed line>".
+python3 - <<'PY'
+import pathlib, re, sys
+
+allow = set()
+for raw in open("scripts/unwrap_allowlist.txt"):
+    raw = raw.rstrip("\n")
+    if raw and not raw.startswith("#"):
+        allow.add(raw)
+
+pat = re.compile(r"\.unwrap\(\)|\.expect\(")
+bad, used = [], set()
+for f in sorted(pathlib.Path("crates").glob("*/src/**/*.rs")):
+    in_test = False
+    for line in f.read_text().splitlines():
+        # Test modules tail every file in this workspace; stop scanning
+        # at the first cfg(test) marker.
+        if "#[cfg(test)]" in line:
+            in_test = True
+        if in_test:
+            continue
+        s = line.strip()
+        if s.startswith("//") or not pat.search(s):
+            continue
+        key = f"{f}: {s}"
+        if key in allow:
+            used.add(key)
+        else:
+            bad.append(key)
+
+if bad:
+    print("[lint] .unwrap()/.expect( in non-test code (return a typed",
+          file=sys.stderr)
+    print("[lint] error, or allowlist a provable invariant):",
+          file=sys.stderr)
+    for key in bad:
+        print(f"[lint]   {key}", file=sys.stderr)
+    sys.exit(1)
+for key in sorted(allow - used):
+    print(f"[lint] warning: stale allowlist entry: {key}")
+print(f"[lint] unwrap deny-list clean ({len(used)} allowlisted)")
+PY
+
 echo "[lint] OK"

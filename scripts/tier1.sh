@@ -70,6 +70,35 @@ assert rec.get("peak_heap_bytes", 0) > 0, rec
 print("[tier1] run appended a valid run-ledger/v1 record")
 PY
 
+# Every run leaves a verifiable stage checkpoint beside the artifacts
+# (DESIGN.md §13): schema-tagged, with each pipeline stage recorded and
+# every artifact checksum matching the bytes on disk.
+python3 - "$out" <<'PY'
+import json, pathlib, sys
+
+out = pathlib.Path(sys.argv[1])
+doc = json.load(open(out / "run_checkpoint.json"))
+assert doc["schema"] == "divide/checkpoint/v1", doc["schema"]
+stages = {s["name"]: s["artifacts"] for s in doc["stages"]}
+for stage in ("table1", "table2", "fig1", "fig2", "fig3", "fig4", "qoe"):
+    assert stage in stages, f"checkpoint missing stage {stage}"
+
+def fnv1a64(data):
+    h = 0xcbf29ce484222325
+    for b in data:
+        h = ((h ^ b) * 0x100000001b3) & 0xFFFFFFFFFFFFFFFF
+    return f"{h:016x}"
+
+checked = 0
+for artifacts in stages.values():
+    for a in artifacts:
+        body = (out / a["name"]).read_bytes()
+        assert fnv1a64(body) == a["fnv1a64"], f"checksum mismatch: {a['name']}"
+        checked += 1
+assert checked >= 5, f"only {checked} artifact checksums recorded"
+print(f"[tier1] checkpoint validates ({checked} artifact checksums verified)")
+PY
+
 echo "[tier1] divide fig2 --quiet --metrics-out writes a valid bench record"
 bench="$out/BENCH_fig2.json"
 quiet_err="$out/quiet_stderr.txt"
@@ -270,6 +299,11 @@ if ./target/release/divide history --ledger "$cachedir/runs.jsonl" $history_gate
     exit 1
 fi
 
+echo "[tier1] chaos smoke (scripts/chaos.sh, 6 seeded plans)"
+# Full 20-plan sweeps belong to scripts/chaos.sh runs; tier-1 keeps a
+# small always-on slice so a broken fault path or torn write can't land.
+CHAOS_PLANS=6 ./scripts/chaos.sh
+
 echo "[tier1] divide --help exits 0 and lists every command"
 # Capture first: `grep -q` closing the pipe early would EPIPE divide.
 help_out="$(./target/release/divide --help)"
@@ -284,5 +318,10 @@ grep -q 'history' <<<"$help_out"
 grep -q DIVIDE_TRACE <<<"$help_out"
 grep -q DIVIDE_ALLOC <<<"$help_out"
 grep -q DIVIDE_LEDGER <<<"$help_out"
+grep -q 'fault-plan' <<<"$help_out"
+grep -q 'resume' <<<"$help_out"
+grep -q DIVIDE_FAULT <<<"$help_out"
+grep -q DIVIDE_POOL_TIMEOUT_MS <<<"$help_out"
+grep -q 'exit codes' <<<"$help_out"
 
 echo "[tier1] OK"
