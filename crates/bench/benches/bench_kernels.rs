@@ -1,22 +1,58 @@
-//! Hot-kernel benchmarks: the three geometry paths rewritten for the
+//! Hot-kernel benchmarks: the geometry paths rewritten for the
 //! snapshot-cache PR (hoisted-trig Gaussian field, tile-pruned metro
-//! distance, bucket-grid county-seat lookup), each against an inline
-//! replica of the pre-rewrite full-scan code, plus snapshot
-//! encode/decode throughput. The regression gates assert the rewritten
-//! kernels are *bit-identical* to their naive baselines — the speedups
+//! distance, bucket-grid county-seat lookup) plus the data-oriented
+//! kernels of the columnar-layout PR (Fig 2 row scan, the contiguous
+//! unserved fold, monotone stratified sampling, bulk cell centers) and
+//! snapshot encode/decode throughput. Each rewritten kernel runs
+//! against an inline replica of the pre-rewrite code, and the
+//! regression gates assert the pair is *bit-identical* — the speedups
 //! must come for free.
+//!
+//! The run ends with a machine-readable `KERNELS_JSON: {...}` line of
+//! per-kernel medians; `scripts/bench.sh` copies it into
+//! `BENCH_tier1.json` so kernel regressions are tracked numbers.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use leo_bench::shared_model;
 use leo_cache::{decode_dataset, encode_dataset};
 use leo_demand::counties::SeatIndex;
+use leo_demand::counts::CountCalibration;
 use leo_demand::field::SmoothField;
 use leo_demand::geography::{distance_to_nearest_metro_km, METRO_CENTERS};
 use leo_geomath::{great_circle_distance_km, pre_distance_km, GeoBBox, LatLng, PrePoint};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use starlink_divide::coverage_sweep::served_fractions_row;
 use std::hint::black_box;
 use std::time::Instant;
+
+/// Median wall-clock of `reps` evaluations of `f`, in milliseconds —
+/// the summary statistic `KERNELS_JSON` reports (the vendored
+/// criterion shim prints means only).
+fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+/// The pre-rewrite Fig 2 inner loop: an independent binary search per
+/// `(beamspread, oversubscription)` cell.
+fn per_point_fractions(sorted: &[u64], limits: &[u64], out: &mut Vec<f64>) {
+    for &limit in limits {
+        let served = sorted.partition_point(|&c| c <= limit);
+        out.push(if sorted.is_empty() {
+            1.0
+        } else {
+            served as f64 / sorted.len() as f64
+        });
+    }
+}
 
 /// CONUS-ish probe batch shared by every kernel bench.
 fn probes(n: usize) -> Vec<LatLng> {
@@ -171,8 +207,89 @@ fn bench_kernels(c: &mut Criterion) {
         })
     });
 
-    // Snapshot codec throughput over the shared test-scale dataset.
+    // Kernel 4: the Fig 2 row scan — one monotone two-pointer walk per
+    // beamspread row versus the per-cell binary search it replaced.
     let ds = &shared_model().dataset;
+    let sorted = ds.sorted_counts();
+    let max_count = sorted.last().copied().unwrap_or(0);
+    let limits: Vec<u64> = (0..48).map(|i| i * (max_count / 40 + 1)).collect();
+    let mut row = Vec::with_capacity(limits.len());
+    c.bench_function("kernels/sweep_row/per_point", |b| {
+        b.iter(|| {
+            row.clear();
+            per_point_fractions(black_box(&sorted), black_box(&limits), &mut row);
+            black_box(&row);
+        })
+    });
+    c.bench_function("kernels/sweep_row/two_pointer", |b| {
+        b.iter(|| {
+            row.clear();
+            served_fractions_row(black_box(&sorted), black_box(&limits), &mut row);
+            black_box(&row);
+        })
+    });
+
+    // Kernel 5: the sensitivity/tail unserved fold — a branch-free
+    // saturating fold over the contiguous counts column versus the
+    // row-major struct walk.
+    let fold_limits = [0u64, 61, 1_733, 3_465];
+    c.bench_function("kernels/unserved_fold/row_major", |b| {
+        b.iter(|| {
+            for &limit in &fold_limits {
+                let v: u64 = ds
+                    .cells
+                    .iter()
+                    .map(|cell| cell.locations.saturating_sub(limit))
+                    .sum();
+                black_box(v);
+            }
+        })
+    });
+    c.bench_function("kernels/unserved_fold/columnar", |b| {
+        b.iter(|| {
+            for &limit in &fold_limits {
+                black_box(ds.cols.unserved_above(black_box(limit)));
+            }
+        })
+    });
+
+    // Kernel 6: stratified inverse-CDF sampling — the monotone
+    // two-pointer walk versus a per-sample segment search.
+    let curve = CountCalibration::paper().curve;
+    let n_samples = 20_000usize;
+    c.bench_function("kernels/stratified/per_point", |b| {
+        b.iter(|| {
+            for i in 0..n_samples {
+                black_box(curve.value((i as f64 + 0.5) / n_samples as f64));
+            }
+        })
+    });
+    c.bench_function("kernels/stratified/two_pointer", |b| {
+        b.iter(|| black_box(curve.stratified_values(black_box(n_samples))))
+    });
+
+    // Kernel 7: bulk cell centers — the run-hoisted column builder
+    // versus a per-id projection call.
+    let ids = &ds.cols.cell;
+    let (mut lat_col, mut lng_col) = (Vec::new(), Vec::new());
+    c.bench_function("kernels/cell_centers/per_id", |b| {
+        b.iter(|| {
+            for &id in ids.iter() {
+                black_box(ds.grid.cell_center(id));
+            }
+        })
+    });
+    c.bench_function("kernels/cell_centers/bulk", |b| {
+        b.iter(|| {
+            lat_col.clear();
+            lng_col.clear();
+            ds.grid
+                .cell_centers_into(black_box(ids), &mut lat_col, &mut lng_col);
+            black_box((&lat_col, &lng_col));
+        })
+    });
+
+    // Snapshot codec throughput over the shared test-scale dataset.
     let payload = encode_dataset(ds);
     let mut group = c.benchmark_group("cache");
     group.sample_size(20);
@@ -207,6 +324,54 @@ fn bench_kernels(c: &mut Criterion) {
     assert_eq!(decoded.cells.len(), ds.cells.len());
     assert_eq!(decoded.total_locations, ds.total_locations);
 
+    // Columnar-kernel gates: every data-oriented rewrite must agree
+    // with its scalar baseline to the last bit.
+    let mut scalar_row = Vec::new();
+    per_point_fractions(&sorted, &limits, &mut scalar_row);
+    let mut vector_row = Vec::new();
+    served_fractions_row(&sorted, &limits, &mut vector_row);
+    assert_eq!(scalar_row.len(), vector_row.len());
+    for (i, (a, b)) in scalar_row.iter().zip(vector_row.iter()).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "row scan diverged at limit {i}");
+    }
+    for &limit in &fold_limits {
+        let scalar: u64 = ds
+            .cells
+            .iter()
+            .map(|cell| cell.locations.saturating_sub(limit))
+            .sum();
+        assert_eq!(
+            ds.cols.unserved_above(limit),
+            scalar,
+            "unserved fold diverged at limit {limit}"
+        );
+    }
+    let bulk = curve.stratified_values(n_samples);
+    for (i, v) in bulk.iter().enumerate() {
+        let per_point = curve.value((i as f64 + 0.5) / n_samples as f64);
+        assert_eq!(
+            v.to_bits(),
+            per_point.to_bits(),
+            "stratified diverged at {i}"
+        );
+    }
+    lat_col.clear();
+    lng_col.clear();
+    ds.grid.cell_centers_into(ids, &mut lat_col, &mut lng_col);
+    for (i, &id) in ids.iter().enumerate() {
+        let c = ds.grid.cell_center(id);
+        assert_eq!(
+            lat_col[i].to_bits(),
+            c.lat_deg().to_bits(),
+            "center lat {i}"
+        );
+        assert_eq!(
+            lng_col[i].to_bits(),
+            c.lng_deg().to_bits(),
+            "center lng {i}"
+        );
+    }
+
     // Codec throughput in engineering units for EXPERIMENTS.md.
     let mb = payload.len() as f64 / (1024.0 * 1024.0);
     let reps = 50;
@@ -225,6 +390,45 @@ fn bench_kernels(c: &mut Criterion) {
         mb,
         mb / enc_s,
         mb / dec_s
+    );
+
+    // Machine-readable medians for BENCH_tier1.json (31 reps each; the
+    // shim above prints means, trend gating wants medians).
+    let sweep_ms = median_ms(31, || {
+        let mut out = Vec::with_capacity(limits.len());
+        served_fractions_row(black_box(&sorted), black_box(&limits), &mut out);
+        black_box(out);
+    });
+    let fold_ms = median_ms(31, || {
+        for &limit in &fold_limits {
+            black_box(ds.cols.unserved_above(black_box(limit)));
+        }
+    });
+    let stratified_ms = median_ms(31, || {
+        black_box(curve.stratified_values(black_box(n_samples)));
+    });
+    let centers_ms = median_ms(31, || {
+        let mut lat = Vec::new();
+        let mut lng = Vec::new();
+        ds.grid
+            .cell_centers_into(black_box(ids), &mut lat, &mut lng);
+        black_box((lat, lng));
+    });
+    let encode_ms = median_ms(31, || {
+        black_box(encode_dataset(black_box(ds)));
+    });
+    let decode_ms = median_ms(31, || {
+        black_box(decode_dataset(black_box(&payload)).expect("valid"));
+    });
+    println!(
+        "KERNELS_JSON: {{\"sweep_row_scan_ms\":{sweep_ms:.6},\
+         \"unserved_fold_ms\":{fold_ms:.6},\
+         \"stratified_sample_ms\":{stratified_ms:.6},\
+         \"cell_centers_ms\":{centers_ms:.6},\
+         \"snapshot_encode_ms\":{encode_ms:.6},\
+         \"snapshot_decode_ms\":{decode_ms:.6},\
+         \"decode_mib_per_s\":{:.3}}}",
+        mb / (decode_ms / 1e3)
     );
 }
 

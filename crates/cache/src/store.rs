@@ -43,8 +43,11 @@ pub const CONTAINER_VERSION: u32 = 1;
 /// Payload schema version. Bump on **any** change to how
 /// [`crate::snapshot`] lays out a payload; it participates in both the
 /// container header and every content key, so old snapshots are doubly
-/// unreachable.
-pub const SCHEMA_VERSION: u32 = 1;
+/// unreachable. v2 switched the payloads from per-record field loops
+/// to length-prefixed, 8-byte-aligned column blocks (bulk reads on
+/// decode); v1 containers fail closed through `cache.invalid` →
+/// regenerate.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Leading magic bytes of every snapshot file.
 pub const MAGIC: [u8; 8] = *b"LEOSNAP\0";
@@ -136,6 +139,19 @@ pub fn decode_container(
     expected_key: u64,
     bytes: &[u8],
 ) -> Result<&[u8], ContainerError> {
+    decode_container_span(expected_schema, expected_key, bytes)
+        .map(|(start, end)| &bytes[start..end])
+}
+
+/// [`decode_container`], but returning the payload's byte span inside
+/// the container instead of a borrowed slice — the building block of
+/// the zero-copy load path, where the caller keeps the whole file
+/// buffer alive and decodes straight out of it.
+pub fn decode_container_span(
+    expected_schema: u32,
+    expected_key: u64,
+    bytes: &[u8],
+) -> Result<(usize, usize), ContainerError> {
     if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
         return Err(ContainerError::BadMagic);
     }
@@ -173,7 +189,25 @@ pub fn decode_container(
     if found != computed {
         return Err(ContainerError::ChecksumMismatch { found, computed });
     }
-    Ok(payload)
+    Ok((at, end))
+}
+
+/// A verified snapshot payload, borrowed in place from the container
+/// file's read buffer. Warm loads used to copy the ~700 KB payload out
+/// with `to_vec`; holding the whole container plus the payload span
+/// lets decoders read straight from the file bytes instead.
+#[derive(Debug)]
+pub struct LoadedPayload {
+    bytes: Vec<u8>,
+    start: usize,
+    end: usize,
+}
+
+impl LoadedPayload {
+    /// The verified payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.bytes[self.start..self.end]
+    }
 }
 
 /// A directory of content-addressed snapshot files.
@@ -198,10 +232,21 @@ impl SnapshotStore {
         self.dir.join(format!("{kind}-{key:016x}.snap"))
     }
 
-    /// Loads and verifies a snapshot payload. `None` means "regenerate"
-    /// — whether because the file is absent (`cache.miss`) or failed
-    /// verification (`cache.invalid` + a warning). Never panics.
+    /// Loads and verifies a snapshot payload as an owned copy. Prefer
+    /// [`SnapshotStore::load_payload`] on hot paths — it skips the
+    /// payload copy.
     pub fn load(&self, kind: &str, key: u64, schema: u32) -> Option<Vec<u8>> {
+        self.load_payload(kind, key, schema)
+            .map(|p| p.payload().to_vec())
+    }
+
+    /// Loads and verifies a snapshot payload zero-copy: the returned
+    /// [`LoadedPayload`] keeps the container's read buffer and exposes
+    /// the verified payload as a borrowed slice. `None` means
+    /// "regenerate" — whether because the file is absent (`cache.miss`)
+    /// or failed verification (`cache.invalid` + a warning). Never
+    /// panics.
+    pub fn load_payload(&self, kind: &str, key: u64, schema: u32) -> Option<LoadedPayload> {
         let path = self.path_for(kind, key);
         let bytes = match fs::read(&path) {
             Ok(b) => b,
@@ -236,12 +281,12 @@ impl SnapshotStore {
             leo_trace::instant("cache.miss");
             return None;
         }
-        match decode_container(schema, key, &bytes) {
-            Ok(payload) => {
+        match decode_container_span(schema, key, &bytes) {
+            Ok((start, end)) => {
                 leo_obs::metrics::counter_add("cache.hit", 1);
-                leo_obs::metrics::counter_add("cache.bytes_read", payload.len() as u64);
+                leo_obs::metrics::counter_add("cache.bytes_read", (end - start) as u64);
                 leo_trace::instant("cache.hit");
-                Some(payload.to_vec())
+                Some(LoadedPayload { bytes, start, end })
             }
             Err(why) => {
                 leo_obs::log_warn!(

@@ -7,9 +7,20 @@
 //! panic.
 
 use leo_cache::{
-    decode_container, encode_container, fnv1a64, ContainerError, Decoder, Encoder, SCHEMA_VERSION,
+    decode_container, decode_dataset, decode_sweep, encode_container, encode_dataset, encode_sweep,
+    fnv1a64, ContainerError, Decoder, Encoder, SCHEMA_VERSION,
 };
+use leo_demand::dataset::{BroadbandDataset, SynthConfig};
 use proptest::prelude::*;
+use starlink_divide::coverage_sweep::CoverageSweep;
+use std::sync::OnceLock;
+
+/// One generated small dataset, shared across property cases (the
+/// generator costs ~1 s; the properties mutate its value columns).
+fn base_dataset() -> &'static BroadbandDataset {
+    static BASE: OnceLock<BroadbandDataset> = OnceLock::new();
+    BASE.get_or_init(|| BroadbandDataset::generate(&SynthConfig::small()))
+}
 
 /// Arbitrary bytes (the vendored proptest has no `any::<u8>()`).
 fn bytes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
@@ -126,6 +137,103 @@ proptest! {
             }
             other => prop_assert!(false, "expected key mismatch, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn columnar_sweep_round_trips_any_grid(
+        beamspreads in proptest::collection::vec(1u32..=100, 0..6),
+        n_o in 0usize..5,
+        cells in proptest::collection::vec(float_bits(), 0..30),
+    ) {
+        // Shape the flat cells into an n_b × n_o grid (truncating or
+        // padding with 0.0 keeps the strategy simple).
+        let n_b = beamspreads.len();
+        let oversubs: Vec<u32> = (1..=n_o as u32).map(|o| o * 10).collect();
+        let fraction: Vec<Vec<f64>> = (0..n_b)
+            .map(|b| {
+                (0..n_o)
+                    .map(|o| cells.get(b * n_o + o).copied().unwrap_or(0.0))
+                    .collect()
+            })
+            .collect();
+        let s = CoverageSweep { beamspreads, oversubs, fraction };
+        let decoded = decode_sweep(&encode_sweep(&s)).unwrap();
+        prop_assert_eq!(&decoded.beamspreads, &s.beamspreads);
+        prop_assert_eq!(&decoded.oversubs, &s.oversubs);
+        prop_assert_eq!(decoded.fraction.len(), s.fraction.len());
+        for (ra, rb) in decoded.fraction.iter().zip(s.fraction.iter()) {
+            prop_assert_eq!(ra.len(), rb.len());
+            for (a, b) in ra.iter().zip(rb.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_sweep_payloads_never_decode(
+        beamspreads in proptest::collection::vec(1u32..=100, 1..5),
+        fracs in proptest::collection::vec(float_bits(), 3..12),
+        cut_sel in 0u16..=u16::MAX,
+    ) {
+        let n_o = 3usize;
+        let n_b = beamspreads.len();
+        let fraction: Vec<Vec<f64>> = (0..n_b)
+            .map(|b| {
+                (0..n_o)
+                    .map(|o| fracs.get((b * n_o + o) % fracs.len()).copied().unwrap_or(0.5))
+                    .collect()
+            })
+            .collect();
+        let oversubs = vec![10, 20, 30];
+        let payload = encode_sweep(&CoverageSweep { beamspreads, oversubs, fraction });
+        let cut = (cut_sel as usize) % payload.len();
+        prop_assert!(decode_sweep(&payload[..cut]).is_err());
+    }
+
+    #[test]
+    fn columnar_dataset_round_trips_mutated_value_columns(
+        // Bounded so the dataset's total-locations fold cannot
+        // overflow u64 across the few hundred small-scale cells.
+        locs in proptest::collection::vec(0u64..=(1u64 << 50), 8),
+        incomes in proptest::collection::vec(20_000.0f64..250_000.0, 8),
+    ) {
+        // Structural columns (cell ids, centers, county links) come
+        // from a real generated dataset; the value columns are fuzzed,
+        // exercising the codec across a wide count and income space
+        // rather than only calibrated values.
+        let base = base_dataset();
+        let mut cols = base.cols.clone();
+        for (i, slot) in cols.locations.iter_mut().enumerate() {
+            *slot = locs[i % locs.len()] + i as u64;
+        }
+        let mut counties = base.counties.clone();
+        for (i, c) in counties.iter_mut().enumerate() {
+            c.median_income_usd = incomes[i % incomes.len()];
+        }
+        let ds = BroadbandDataset::from_columns(
+            leo_hexgrid::GeoHexGrid::starlink(),
+            cols,
+            base.us_cell_count,
+            counties,
+        );
+        let decoded = decode_dataset(&encode_dataset(&ds)).unwrap();
+        prop_assert_eq!(decoded.us_cell_count, ds.us_cell_count);
+        prop_assert_eq!(decoded.total_locations, ds.total_locations);
+        prop_assert_eq!(decoded.cols.cell.len(), ds.cols.cell.len());
+        prop_assert_eq!(&decoded.cols.cell, &ds.cols.cell);
+        prop_assert_eq!(&decoded.cols.locations, &ds.cols.locations);
+        prop_assert_eq!(&decoded.cols.county, &ds.cols.county);
+        for (a, b) in decoded.cols.lat_deg.iter().zip(ds.cols.lat_deg.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in decoded.cols.lng_deg.iter().zip(ds.cols.lng_deg.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in decoded.counties.iter().zip(ds.counties.iter()) {
+            prop_assert_eq!(a.median_income_usd.to_bits(), b.median_income_usd.to_bits());
+            prop_assert_eq!(a.locations, b.locations);
+        }
+        prop_assert_eq!(&*decoded.sorted_counts(), &*ds.sorted_counts());
     }
 
     #[test]

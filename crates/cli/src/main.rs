@@ -1334,13 +1334,15 @@ fn fig4(model: &PaperModel, out: &Path) {
             .collect();
         pts.insert(0, (0.0, total as f64));
         chart.push(Series::steps(r.plan.name, pts));
+        // The CDF has thousands of points per plan; stream each record
+        // through the writer's scratch instead of four strings a row.
         for &(p, cum) in &r.cdf {
-            csv.record(&[
-                r.plan.name.to_string(),
-                format!("{:.2}", r.plan.monthly_usd),
-                format!("{p:.5}"),
-                cum.to_string(),
-            ]);
+            csv.record_with(|row| {
+                row.field(r.plan.name)
+                    .field(format_args!("{:.2}", r.plan.monthly_usd))
+                    .field(format_args!("{p:.5}"))
+                    .field(cum);
+            });
         }
     }
     print!("{}", t.render());

@@ -42,6 +42,9 @@ struct Record {
     stages: BTreeMap<String, f64>,
     /// Counter name → value.
     counters: BTreeMap<String, u64>,
+    /// Throughput name → value (higher is better, so the regression
+    /// direction is *reversed* relative to the stage gate).
+    throughputs: BTreeMap<String, f64>,
 }
 
 fn load(path: &Path) -> Result<Record, String> {
@@ -88,7 +91,11 @@ fn from_manifest(doc: &Json) -> Record {
         stages.insert("total".to_string(), ms);
     }
     let counters = counters_of(doc.get("metrics").and_then(|m| m.get("counters")));
-    Record { stages, counters }
+    Record {
+        stages,
+        counters,
+        throughputs: BTreeMap::new(),
+    }
 }
 
 fn from_bench(doc: &Json) -> Record {
@@ -104,12 +111,18 @@ fn from_bench(doc: &Json) -> Record {
         stages.insert("total".to_string(), ms);
     }
     let counters = counters_of(doc.get("counters"));
-    Record { stages, counters }
+    Record {
+        stages,
+        counters,
+        throughputs: BTreeMap::new(),
+    }
 }
 
-/// Flattens `runs.threads_N.<field>` to `threads_N.<field>` rows. Only
-/// `*_ms` fields gate (ratios like `warm_speedup` and byte counters
-/// are informational, not wall-clock).
+/// Flattens `runs.threads_N.<field>` to `threads_N.<field>` rows and
+/// `kernels.<field>` medians. Only `*_ms` fields gate as stages
+/// (ratios like `warm_speedup` and byte counters are informational,
+/// not wall-clock); `decode_throughput_mbps` gates in the *reverse*
+/// direction, where lower is the regression.
 fn from_bench_tier1(doc: &Json) -> Record {
     let mut stages = BTreeMap::new();
     if let Some(Json::Obj(runs)) = doc.get("runs") {
@@ -125,9 +138,23 @@ fn from_bench_tier1(doc: &Json) -> Record {
             }
         }
     }
+    if let Some(Json::Obj(kernels)) = doc.get("kernels") {
+        for (field, value) in kernels {
+            if field.ends_with("_ms") {
+                if let Some(ms) = value.as_f64() {
+                    stages.insert(format!("kernels.{field}"), ms);
+                }
+            }
+        }
+    }
+    let mut throughputs = BTreeMap::new();
+    if let Some(v) = doc.get("decode_throughput_mbps").and_then(Json::as_f64) {
+        throughputs.insert("decode_throughput_mbps".to_string(), v);
+    }
     Record {
         stages,
         counters: BTreeMap::new(),
+        throughputs,
     }
 }
 
@@ -222,6 +249,60 @@ pub fn run(opts: &ReportOpts) -> i32 {
         ]);
     }
     print!("{}", table.render());
+
+    // Throughputs gate in the reverse direction: a *drop* beyond the
+    // threshold is the regression, a rise is the improvement.
+    if !base.throughputs.is_empty() || !cand.throughputs.is_empty() {
+        let mut tt = TextTable::new(
+            "throughputs (higher is better)",
+            &["metric", "baseline", "candidate", "delta %", "status"],
+        );
+        let mut tp_names: Vec<&String> = base.throughputs.keys().collect();
+        for name in cand.throughputs.keys() {
+            if !base.throughputs.contains_key(name) {
+                tp_names.push(name);
+            }
+        }
+        tp_names.sort();
+        let fmt = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.2}"));
+        for name in tp_names {
+            let b = base.throughputs.get(name).copied();
+            let c = cand.throughputs.get(name).copied();
+            let (delta_pct, status) = match (b, c) {
+                (Some(b_v), Some(c_v)) if b_v > 0.0 => {
+                    let pct = 100.0 * (c_v - b_v) / b_v;
+                    let status = if pct < -opts.max_regress_pct {
+                        regressed += 1;
+                        "REGRESSED"
+                    } else if pct > opts.max_regress_pct {
+                        "improved"
+                    } else {
+                        "ok"
+                    };
+                    (format!("{pct:+.1}"), status)
+                }
+                (None, Some(_)) => ("-".into(), "new"),
+                (Some(_), None) => ("-".into(), "removed"),
+                _ => ("-".into(), "ok"),
+            };
+            tt.row(&[
+                name.clone(),
+                fmt(b),
+                fmt(c),
+                delta_pct.clone(),
+                status.to_string(),
+            ]);
+            csv.record(&[
+                name.clone(),
+                fmt(b),
+                fmt(c),
+                "-".to_string(),
+                delta_pct,
+                status.to_string(),
+            ]);
+        }
+        print!("{}", tt.render());
+    }
 
     // Counters that changed, for context (never gated: counts measure
     // work shape, not speed).

@@ -40,6 +40,37 @@ pub fn fraction_served(
     served as f64 / sorted_counts.len() as f64
 }
 
+/// Computes one beamspread row of served fractions in a single forward
+/// scan, appending to `out`. `limits` holds the per-oversubscription
+/// location limits for the row; because the limit is monotone
+/// nondecreasing in ρ, the scan resumes from the previous limit's
+/// index instead of binary-searching every grid point. Each appended
+/// fraction is exactly `partition_point(|&c| c <= limit) / len` — the
+/// same bits [`fraction_served`] produces — and a non-ascending limit
+/// (never the case for a ρ axis, but the kernel stays total) falls
+/// back to the binary search.
+pub fn served_fractions_row(sorted_counts: &[u64], limits: &[u64], out: &mut Vec<f64>) {
+    out.reserve(limits.len());
+    if sorted_counts.is_empty() {
+        out.extend(limits.iter().map(|_| 1.0));
+        return;
+    }
+    let n = sorted_counts.len();
+    let mut idx = 0usize;
+    let mut prev = 0u64;
+    for &limit in limits {
+        if limit < prev {
+            idx = sorted_counts.partition_point(|&c| c <= limit);
+        } else {
+            while idx < n && sorted_counts[idx] <= limit {
+                idx += 1;
+            }
+        }
+        prev = limit;
+        out.push(idx as f64 / n as f64);
+    }
+}
+
 /// The paper's Fig 2 axes: beamspread 1–15, oversubscription 1–30.
 /// The single source of truth — [`sweep`] runs over exactly these, and
 /// snapshot caches key on them so a change here invalidates cached
@@ -65,16 +96,23 @@ pub fn sweep_over(model: &PaperModel, beamspreads: Vec<u32>, oversubs: Vec<u32>)
         (beamspreads.len() * oversubs.len()) as u64,
     );
     let counts = model.dataset.sorted_counts();
+    // The ρ wrappers are shared by every row; each parallel row then
+    // derives its ascending limit sequence into a scratch vector and
+    // fills the row with one forward scan over the contiguous counts.
+    let rhos: Vec<Oversubscription> = oversubs
+        .iter()
+        .map(|&r| {
+            Oversubscription::new(r as f64).expect("oversubscription axis value must be >= 1")
+        })
+        .collect();
     let fraction = par_map(&beamspreads, |_, &b| {
         let spread = Beamspread::new(b).expect("beamspread axis value must be >= 1");
-        oversubs
-            .iter()
-            .map(|&r| {
-                let rho = Oversubscription::new(r as f64)
-                    .expect("oversubscription axis value must be >= 1");
-                fraction_served(model, &counts, rho, spread)
-            })
-            .collect()
+        let cap = spread_cell_capacity_gbps(&model.capacity, spread);
+        let mut limits = Vec::with_capacity(rhos.len());
+        limits.extend(rhos.iter().map(|&rho| max_locations_servable(cap, rho)));
+        let mut row = Vec::with_capacity(limits.len());
+        served_fractions_row(&counts, &limits, &mut row);
+        row
     });
     CoverageSweep {
         beamspreads,
@@ -136,6 +174,45 @@ mod tests {
         // Exactly the 5 over-cap anchor cells are unserved.
         let expect = 1.0 - 5.0 / counts.len() as f64;
         assert!((f - expect).abs() < 1e-9, "f {f} expect {expect}");
+    }
+
+    #[test]
+    fn row_scan_matches_per_point_binary_search_bit_for_bit() {
+        let m = model();
+        let counts = m.dataset.sorted_counts();
+        let (beamspreads, oversubs) = default_axes();
+        for &b in &beamspreads {
+            let spread = Beamspread::new(b).unwrap();
+            let cap = spread_cell_capacity_gbps(&m.capacity, spread);
+            let limits: Vec<u64> = oversubs
+                .iter()
+                .map(|&r| max_locations_servable(cap, Oversubscription::new(r as f64).unwrap()))
+                .collect();
+            let mut row = Vec::new();
+            served_fractions_row(&counts, &limits, &mut row);
+            for (ri, &r) in oversubs.iter().enumerate() {
+                let point =
+                    fraction_served(m, &counts, Oversubscription::new(r as f64).unwrap(), spread);
+                assert_eq!(row[ri].to_bits(), point.to_bits(), "b {b} rho {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_scan_survives_non_ascending_limits() {
+        let counts = [1u64, 3, 3, 7, 10, 10, 12];
+        let limits = [10u64, 2, 12, 0, 3];
+        let mut row = Vec::new();
+        served_fractions_row(&counts, &limits, &mut row);
+        let expect: Vec<f64> = limits
+            .iter()
+            .map(|&l| counts.partition_point(|&c| c <= l) as f64 / counts.len() as f64)
+            .collect();
+        assert_eq!(row, expect);
+        // Empty counts: everything trivially served.
+        let mut empty = Vec::new();
+        served_fractions_row(&[], &limits, &mut empty);
+        assert!(empty.iter().all(|&f| f == 1.0));
     }
 
     #[test]

@@ -73,13 +73,14 @@ pub fn cdf_series(model: &PaperModel, max_points: usize) -> Vec<(u64, f64)> {
 }
 
 /// Map data for the Fig 1 choropleth: `(lat, lng, locations)` per
-/// demand cell.
+/// demand cell, zipped straight out of the columnar layout.
 pub fn map_series(model: &PaperModel) -> Vec<(f64, f64, u64)> {
-    model
-        .dataset
-        .cells
+    let cols = &model.dataset.cols;
+    cols.lat_deg
         .iter()
-        .map(|c| (c.center.lat_deg(), c.center.lng_deg(), c.locations))
+        .zip(cols.lng_deg.iter())
+        .zip(cols.locations.iter())
+        .map(|((&lat, &lng), &n)| (lat, lng, n))
         .collect()
 }
 

@@ -40,12 +40,8 @@ pub fn efficiency_sweep(model: &PaperModel, efficiencies: &[f64]) -> Vec<Efficie
         let cell_cap = cap.max_cell_capacity_gbps();
         let peak = model.dataset.peak_cell();
         let limit = max_locations_servable(cell_cap, Oversubscription::FCC_CAP);
-        let unserved: u64 = model
-            .dataset
-            .cells
-            .iter()
-            .map(|c| c.locations.saturating_sub(limit))
-            .sum();
+        // One branch-free fold over the contiguous counts column.
+        let unserved = model.dataset.cols.unserved_above(limit);
         // Re-derive the sizing with the altered beam math: the
         // capped binding cell is the largest fully-servable one.
         let ablated = PaperModelView {

@@ -78,13 +78,9 @@ pub fn tail_curve(
     .into_iter()
     .flatten()
     .collect();
-    // Partial-service excess is unserved from the start.
-    let baseline: u64 = model
-        .dataset
-        .cells
-        .iter()
-        .map(|c| c.locations.saturating_sub(limit))
-        .sum();
+    // Partial-service excess is unserved from the start — one
+    // branch-free fold over the contiguous counts column.
+    let baseline = model.dataset.cols.unserved_above(limit);
 
     // Binding-first order; dropping the argmax cell each step keeps
     // the curve monotone by construction.

@@ -129,11 +129,14 @@ impl CountCalibration {
     pub fn regular_counts(&self) -> Vec<u64> {
         let n = self.regular_cell_count();
         let target: u64 = self.total_locations - self.anchor_total();
-        let mut counts: Vec<u64> = (0..n)
-            .map(|i| {
-                let u = (i as f64 + 0.5) / n as f64;
-                self.curve.value(u).round().max(1.0) as u64
-            })
+        // Monotone sampling walks the curve's segments forward once
+        // instead of searching per sample; the values are bit-identical
+        // to evaluating `curve.value((i + 0.5) / n)` per cell.
+        let mut counts: Vec<u64> = self
+            .curve
+            .stratified_values(n)
+            .into_iter()
+            .map(|v| v.round().max(1.0) as u64)
             .collect();
         // Exact-total adjustment: rounding drift is O(n⁰·⁵) at most a
         // few hundred here; nudge mid-distribution cells by ±1.

@@ -91,6 +91,130 @@ pub struct Location {
     pub county: u32,
 }
 
+/// Column-major (struct-of-arrays) layout of the demand cells.
+///
+/// Every vector is parallel: index `i` across all five columns is the
+/// same cell as `BroadbandDataset::cells[i]`, and cells stay sorted by
+/// cell id. The row-major `CellDemand` view remains the ergonomic API;
+/// the columns exist so the hot scans — the Fig 2 served-fraction
+/// sweep, the sensitivity unserved folds, the Fig 1 CDF/map series —
+/// run over contiguous `u64`/`f64` slices that LLVM can autovectorize
+/// instead of striding through 40-byte structs. The columnar snapshot
+/// container (`leo-cache` LEOSNAP v2) persists exactly these vectors,
+/// so warm decode is a handful of bulk reads.
+#[derive(Debug, Clone, Default)]
+pub struct DatasetColumns {
+    /// Cell ids, strictly ascending.
+    pub cell: Vec<CellId>,
+    /// Cell-center latitudes, degrees.
+    pub lat_deg: Vec<f64>,
+    /// Cell-center longitudes, degrees.
+    pub lng_deg: Vec<f64>,
+    /// Un(der)served locations per cell.
+    pub locations: Vec<u64>,
+    /// County id per cell.
+    pub county: Vec<u32>,
+}
+
+impl DatasetColumns {
+    /// Builds columns from a row-major cell slice.
+    pub fn from_cells(cells: &[CellDemand]) -> Self {
+        let mut cols = DatasetColumns {
+            cell: Vec::with_capacity(cells.len()),
+            lat_deg: Vec::with_capacity(cells.len()),
+            lng_deg: Vec::with_capacity(cells.len()),
+            locations: Vec::with_capacity(cells.len()),
+            county: Vec::with_capacity(cells.len()),
+        };
+        for c in cells {
+            cols.cell.push(c.cell);
+            cols.lat_deg.push(c.center.lat_deg());
+            cols.lng_deg.push(c.center.lng_deg());
+            cols.locations.push(c.locations);
+            cols.county.push(c.county);
+        }
+        cols
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cell.len()
+    }
+
+    /// True when there are no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cell.is_empty()
+    }
+
+    /// True when all five columns have the same length (every valid
+    /// instance does; decode paths check before constructing).
+    pub fn is_consistent(&self) -> bool {
+        let n = self.cell.len();
+        self.lat_deg.len() == n
+            && self.lng_deg.len() == n
+            && self.locations.len() == n
+            && self.county.len() == n
+    }
+
+    /// The row-major view of cell `i`. The center is reconstituted
+    /// from the stored canonical degrees bit-for-bit.
+    pub fn get(&self, i: usize) -> CellDemand {
+        CellDemand {
+            cell: self.cell[i],
+            center: LatLng::from_canonical_degrees(self.lat_deg[i], self.lng_deg[i]),
+            locations: self.locations[i],
+            county: self.county[i],
+        }
+    }
+
+    /// Iterates the cells as row-major views.
+    pub fn iter(&self) -> impl Iterator<Item = CellDemand> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Total un(der)served locations (Σ over the counts column).
+    pub fn total_locations(&self) -> u64 {
+        self.locations.iter().sum()
+    }
+
+    /// Σ max(locations − limit, 0): locations left unserved when every
+    /// cell can serve at most `limit`. This is the sensitivity / tail
+    /// hot fold — one branch-free pass over the contiguous counts
+    /// column.
+    pub fn unserved_above(&self, limit: u64) -> u64 {
+        self.locations
+            .iter()
+            .map(|&c| c.saturating_sub(limit))
+            .sum()
+    }
+
+    /// Index of the cell with the most locations (ties broken toward
+    /// the larger cell id, matching `max_by_key` on `(locations, cell)`).
+    pub fn peak_index(&self) -> Option<usize> {
+        self.peak_index_at_most(u64::MAX)
+    }
+
+    /// Index of the cell with the most locations at or below `limit` —
+    /// the binding cell of a capped deployment scenario.
+    pub fn peak_index_at_most(&self, limit: u64) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for i in 0..self.locations.len() {
+            if self.locations[i] > limit {
+                continue;
+            }
+            best = match best {
+                Some(b)
+                    if (self.locations[b], self.cell[b]) >= (self.locations[i], self.cell[i]) =>
+                {
+                    Some(b)
+                }
+                _ => Some(i),
+            };
+        }
+        best
+    }
+}
+
 /// The synthetic national broadband dataset.
 #[derive(Debug)]
 pub struct BroadbandDataset {
@@ -98,6 +222,10 @@ pub struct BroadbandDataset {
     pub grid: GeoHexGrid,
     /// Demand cells (≥ 1 un(der)served location), sorted by cell id.
     pub cells: Vec<CellDemand>,
+    /// Column-major mirror of `cells` for the vectorizable hot scans.
+    /// Always consistent with `cells`; both are built by the
+    /// constructors and never mutated afterwards.
+    pub cols: DatasetColumns,
     /// Total number of US service cells (including zero-demand cells,
     /// which still require coverage beams).
     pub us_cell_count: usize,
@@ -123,10 +251,36 @@ impl BroadbandDataset {
         us_cell_count: usize,
         counties: Vec<County>,
     ) -> Self {
-        let total_locations = cells.iter().map(|c| c.locations).sum();
+        let cols = DatasetColumns::from_cells(&cells);
+        let total_locations = cols.total_locations();
         BroadbandDataset {
             grid,
             cells,
+            cols,
+            us_cell_count,
+            counties,
+            total_locations,
+            sorted: Memo::new(),
+        }
+    }
+
+    /// Assembles a dataset directly from columns (the snapshot decode
+    /// path): the row-major `cells` view is materialized in one pass,
+    /// so decode never touches the grid's projection math. The columns
+    /// must be consistent and sorted by cell id.
+    pub fn from_columns(
+        grid: GeoHexGrid,
+        cols: DatasetColumns,
+        us_cell_count: usize,
+        counties: Vec<County>,
+    ) -> Self {
+        debug_assert!(cols.is_consistent());
+        let cells: Vec<CellDemand> = cols.iter().collect();
+        let total_locations = cols.total_locations();
+        BroadbandDataset {
+            grid,
+            cells,
+            cols,
             us_cell_count,
             counties,
             total_locations,
@@ -266,19 +420,21 @@ impl BroadbandDataset {
         // HashMap's iteration order must never reach the output).
         let mut demand: Vec<(CellId, u64)> = counts_by_cell.into_iter().collect();
         demand.sort_unstable_by_key(|&(cell, _)| cell);
-        let cells: Vec<CellDemand> = par_map(&demand, |_, &(cell, locations)| {
-            let center = grid.cell_center(cell);
-            CellDemand {
-                cell,
-                center,
-                locations,
-                county: seat_index.nearest(&center),
-            }
+        // Build the columns directly: ids and counts unzip from the
+        // sorted pairs, centers come from the bulk hexgrid kernel, and
+        // only the Voronoi county lookup (the expensive part) fans out.
+        let cell_ids: Vec<CellId> = demand.iter().map(|&(cell, _)| cell).collect();
+        let locations: Vec<u64> = demand.iter().map(|&(_, n)| n).collect();
+        let mut lat_deg = Vec::new();
+        let mut lng_deg = Vec::new();
+        grid.cell_centers_into(&cell_ids, &mut lat_deg, &mut lng_deg);
+        let county: Vec<u32> = par_map(&demand, |i, _| {
+            seat_index.nearest(&LatLng::from_canonical_degrees(lat_deg[i], lng_deg[i]))
         });
 
         let mut county_weights = vec![0u64; config.n_counties];
-        for c in &cells {
-            county_weights[c.county as usize] += c.locations;
+        for (&c, &n) in county.iter().zip(&locations) {
+            county_weights[c as usize] += n;
         }
         let ranking = remoteness_ranking(config.seed, seat_index.seats());
         let incomes = assign_county_incomes(&county_weights, &ranking);
@@ -296,7 +452,14 @@ impl BroadbandDataset {
             .collect();
         drop(_county_span);
 
-        let ds = Self::from_parts(grid, cells, us_cell_count, counties);
+        let cols = DatasetColumns {
+            cell: cell_ids,
+            lat_deg,
+            lng_deg,
+            locations,
+            county,
+        };
+        let ds = Self::from_columns(grid, cols, us_cell_count, counties);
         leo_obs::metrics::counter_add("demand.us_cells", ds.us_cell_count as u64);
         leo_obs::metrics::counter_add("demand.cells", ds.cells.len() as u64);
         leo_obs::metrics::counter_add("demand.locations", ds.total_locations);
@@ -308,7 +471,7 @@ impl BroadbandDataset {
     /// caller (coverage sweep, tail curves, demand stats).
     pub fn sorted_counts(&self) -> Arc<Vec<u64>> {
         self.sorted.get_or_init(|| {
-            let mut v: Vec<u64> = self.cells.iter().map(|c| c.locations).collect();
+            let mut v = self.cols.locations.clone();
             v.sort_unstable();
             v
         })
@@ -327,19 +490,17 @@ impl BroadbandDataset {
 
     /// The cell with the most un(der)served locations.
     pub fn peak_cell(&self) -> &CellDemand {
-        self.cells
-            .iter()
-            .max_by_key(|c| (c.locations, c.cell))
-            .expect("dataset has at least one cell")
+        let i = self
+            .cols
+            .peak_index()
+            .expect("dataset has at least one cell");
+        &self.cells[i]
     }
 
     /// The cell with the most locations at or below `limit` — the
     /// binding cell of a capped deployment scenario.
     pub fn peak_cell_at_most(&self, limit: u64) -> Option<&CellDemand> {
-        self.cells
-            .iter()
-            .filter(|c| c.locations <= limit)
-            .max_by_key(|c| (c.locations, c.cell))
+        self.cols.peak_index_at_most(limit).map(|i| &self.cells[i])
     }
 
     /// Median household income of a cell's county, USD/year.
@@ -471,6 +632,77 @@ mod tests {
         for loc in locations.iter().step_by(500) {
             let rebinned = ds.grid.cell_for(&loc.position, STARLINK_RESOLUTION);
             assert_eq!(rebinned, loc.cell);
+        }
+    }
+
+    #[test]
+    fn columns_mirror_cells_bit_for_bit() {
+        let ds = small();
+        assert!(ds.cols.is_consistent());
+        assert_eq!(ds.cols.len(), ds.cells.len());
+        for (i, c) in ds.cells.iter().enumerate() {
+            let v = ds.cols.get(i);
+            assert_eq!(v.cell, c.cell);
+            assert_eq!(v.locations, c.locations);
+            assert_eq!(v.county, c.county);
+            assert_eq!(v.center.lat_deg().to_bits(), c.center.lat_deg().to_bits());
+            assert_eq!(v.center.lng_deg().to_bits(), c.center.lng_deg().to_bits());
+        }
+        assert_eq!(ds.cols.total_locations(), ds.total_locations);
+    }
+
+    #[test]
+    fn columnar_peak_scans_match_row_major_scans() {
+        let ds = small();
+        let peak = ds.peak_cell();
+        let naive = ds
+            .cells
+            .iter()
+            .max_by_key(|c| (c.locations, c.cell))
+            .unwrap();
+        assert_eq!(peak.cell, naive.cell);
+        for limit in [0, 100, 3465, 5000, u64::MAX] {
+            let a = ds.peak_cell_at_most(limit).map(|c| c.cell);
+            let b = ds
+                .cells
+                .iter()
+                .filter(|c| c.locations <= limit)
+                .max_by_key(|c| (c.locations, c.cell))
+                .map(|c| c.cell);
+            assert_eq!(a, b, "limit {limit}");
+        }
+    }
+
+    #[test]
+    fn columnar_unserved_fold_matches_row_major_fold() {
+        let ds = small();
+        for limit in [0u64, 1, 61, 552, 1437, 5998, u64::MAX] {
+            let naive: u64 = ds
+                .cells
+                .iter()
+                .map(|c| c.locations.saturating_sub(limit))
+                .sum();
+            assert_eq!(ds.cols.unserved_above(limit), naive, "limit {limit}");
+        }
+    }
+
+    #[test]
+    fn from_columns_round_trips_from_parts() {
+        let ds = small();
+        let rebuilt = BroadbandDataset::from_columns(
+            ds.grid.clone(),
+            ds.cols.clone(),
+            ds.us_cell_count,
+            ds.counties.clone(),
+        );
+        assert_eq!(rebuilt.total_locations, ds.total_locations);
+        assert_eq!(rebuilt.cells.len(), ds.cells.len());
+        for (a, b) in rebuilt.cells.iter().zip(ds.cells.iter()) {
+            assert_eq!(a.cell, b.cell);
+            assert_eq!(a.locations, b.locations);
+            assert_eq!(a.county, b.county);
+            assert_eq!(a.center.lat_deg().to_bits(), b.center.lat_deg().to_bits());
+            assert_eq!(a.center.lng_deg().to_bits(), b.center.lng_deg().to_bits());
         }
     }
 

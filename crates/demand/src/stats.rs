@@ -55,6 +55,39 @@ impl QuantileCurve {
         (v0.ln() + t * (v1.ln() - v0.ln())).exp()
     }
 
+    /// Stratified inverse-CDF sampling: `Q((i + 0.5) / n)` for every
+    /// `i in 0..n`, in one forward walk. Because the sample points are
+    /// monotone, the anchor segment advances with a two-pointer instead
+    /// of the per-sample `windows` search [`QuantileCurve::value`]
+    /// does, and the segment's logs are hoisted — the inner loop is a
+    /// branch-light fused multiply-add plus `exp`. Bit-identical to
+    /// calling `value` per point (same expression, same operand order).
+    pub fn stratified_values(&self, n: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(n);
+        if n == 0 {
+            return out;
+        }
+        let last_idx = self.anchors.len() - 2;
+        let mut idx = 0usize;
+        let (mut u0, mut v0) = self.anchors[0];
+        let (mut u1, mut v1) = self.anchors[1];
+        let mut ln_v0 = v0.ln();
+        let mut dln = v1.ln() - ln_v0;
+        for i in 0..n {
+            let u = (i as f64 + 0.5) / n as f64;
+            while idx < last_idx && u > u1 {
+                idx += 1;
+                (u0, v0) = self.anchors[idx];
+                (u1, v1) = self.anchors[idx + 1];
+                ln_v0 = v0.ln();
+                dln = v1.ln() - ln_v0;
+            }
+            let t = if u1 > u0 { (u - u0) / (u1 - u0) } else { 0.0 };
+            out.push((ln_v0 + t * dln).exp());
+        }
+        out
+    }
+
     /// Inverse evaluation: the `u` at which the curve reaches `value`
     /// (i.e. the CDF of the calibrated distribution). Values outside
     /// the curve's range clamp to 0 or 1.
@@ -155,6 +188,19 @@ mod tests {
         }
         assert_eq!(c.cdf(0.5), 0.0);
         assert_eq!(c.cdf(5000.0), 1.0);
+    }
+
+    #[test]
+    fn stratified_values_match_per_point_evaluation_bit_for_bit() {
+        let c = curve();
+        for n in [0usize, 1, 2, 7, 100, 20_000] {
+            let bulk = c.stratified_values(n);
+            assert_eq!(bulk.len(), n);
+            for (i, &v) in bulk.iter().enumerate() {
+                let u = (i as f64 + 0.5) / n as f64;
+                assert_eq!(v.to_bits(), c.value(u).to_bits(), "n={n} i={i}");
+            }
+        }
     }
 
     #[test]

@@ -30,6 +30,29 @@ impl LatLng {
         Self::new(lat_rad.to_degrees(), lng_rad.to_degrees())
     }
 
+    /// Reconstitutes a coordinate from degrees already known to be
+    /// canonical — values read back from [`LatLng::lat_deg`] /
+    /// [`LatLng::lng_deg`] of an existing point. The exact bit patterns
+    /// are preserved: re-normalizing through [`LatLng::new`] is not a
+    /// floating-point identity (`(x + 180.0) % 360.0 - 180.0` can round),
+    /// which would break the byte-identical snapshot decode contract.
+    /// The caller must have validated the range; out-of-range inputs
+    /// panic in debug builds and are clamped/wrapped in release.
+    pub fn from_canonical_degrees(lat_deg: f64, lng_deg: f64) -> Self {
+        debug_assert!(
+            (-90.0..=90.0).contains(&lat_deg) && (-180.0..180.0).contains(&lng_deg),
+            "non-canonical degrees ({lat_deg}, {lng_deg})"
+        );
+        if (-90.0..=90.0).contains(&lat_deg) && (-180.0..180.0).contains(&lng_deg) {
+            LatLng {
+                lat: lat_deg,
+                lng: lng_deg,
+            }
+        } else {
+            Self::new(lat_deg, lng_deg)
+        }
+    }
+
     /// Latitude in degrees, in `[-90, 90]`.
     #[inline]
     pub fn lat_deg(&self) -> f64 {

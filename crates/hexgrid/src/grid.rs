@@ -130,6 +130,38 @@ impl GeoHexGrid {
         self.proj.inverse(&t.project(&id.coord()))
     }
 
+    /// Computes the centers of a batch of cells into parallel
+    /// latitude/longitude columns, appending to `lat_deg`/`lng_deg`.
+    ///
+    /// Bit-identical to calling [`GeoHexGrid::cell_center`] per id, but
+    /// the per-resolution transform lookup is hoisted out of the loop
+    /// for runs of same-resolution ids (the demand dataset is entirely
+    /// resolution 5), leaving a straight-line project → inverse walk
+    /// over the id slice. This is the column-building kernel for the
+    /// data-oriented dataset layout and the snapshot import path.
+    pub fn cell_centers_into(
+        &self,
+        ids: &[CellId],
+        lat_deg: &mut Vec<f64>,
+        lng_deg: &mut Vec<f64>,
+    ) {
+        lat_deg.reserve(ids.len());
+        lng_deg.reserve(ids.len());
+        let mut i = 0;
+        while i < ids.len() {
+            let res = ids[i].resolution();
+            let t = self.res[res as usize];
+            let mut j = i;
+            while j < ids.len() && ids[j].resolution() == res {
+                let c = self.proj.inverse(&t.project(&ids[j].coord()));
+                lat_deg.push(c.lat_deg());
+                lng_deg.push(c.lng_deg());
+                j += 1;
+            }
+            i = j;
+        }
+    }
+
     /// The six boundary vertices of a cell, counterclockwise.
     pub fn cell_boundary(&self, id: CellId) -> [LatLng; 6] {
         let t = &self.res[id.resolution() as usize];
@@ -360,6 +392,27 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted, cells);
+    }
+
+    #[test]
+    fn bulk_cell_centers_match_scalar_path_bit_for_bit() {
+        let g = grid();
+        // Mixed resolutions exercise the same-resolution run hoisting.
+        let mut ids = Vec::new();
+        for &(lat, lng) in &[(39.5, -98.35), (47.6, -122.33), (25.77, -80.19)] {
+            for res in [5u8, 5, 6, 5] {
+                ids.push(g.cell_for(&LatLng::new(lat, lng), res));
+            }
+        }
+        let mut lat = Vec::new();
+        let mut lng = Vec::new();
+        g.cell_centers_into(&ids, &mut lat, &mut lng);
+        assert_eq!(lat.len(), ids.len());
+        for (i, &id) in ids.iter().enumerate() {
+            let c = g.cell_center(id);
+            assert_eq!(lat[i].to_bits(), c.lat_deg().to_bits());
+            assert_eq!(lng[i].to_bits(), c.lng_deg().to_bits());
+        }
     }
 
     #[test]

@@ -35,13 +35,17 @@
 //! Two guards keep pool overhead away from work that can't amortize
 //! it:
 //!
-//! * **Serial threshold.** When a fan-out has more items than workers,
-//!   a short timed probe (~10 µs of leading items) estimates one
-//!   chunk's duration; fan-outs whose chunks would run under the
+//! * **Serial threshold.** Every fan-out of two or more items starts
+//!   with a short timed probe (~10 µs of leading items) that estimates
+//!   one chunk's duration; fan-outs whose chunks would run under the
 //!   threshold ([`effective_serial_threshold_ns`], default 100 µs,
 //!   `DIVIDE_PAR_THRESHOLD_NS` to override, 0 disables the probe)
 //!   finish serially — reusing the probed prefix — instead of paying
-//!   dispatch for sliver-sized chunks.
+//!   dispatch for sliver-sized chunks. This covers wide-but-shallow
+//!   fan-outs too (a handful of items over more workers): on a warm
+//!   cache those are exactly the calls whose per-item work has
+//!   collapsed to microseconds, and dispatching them used to make the
+//!   warm run *slower* with more threads.
 //! * **Nested flattening.** While a chunk runs, the thread-count
 //!   override is pinned to 1, so a nested `par_map` inside a pool
 //!   worker executes serially instead of oversubscribing the host.
@@ -292,15 +296,20 @@ where
         return out;
     }
     let threshold = effective_serial_threshold_ns();
-    if threshold > 0 && items.len() > workers {
+    let mut prefix: Vec<R> = Vec::new();
+    if threshold > 0 {
         // Timed probe: run items off the front until ~PROBE_BUDGET_NS
         // has passed, then extrapolate one chunk's duration. Too small
         // to amortize a dispatch → finish serially, reusing the prefix
         // (nothing is computed twice on the serial path). Big enough →
-        // discard the ≤10 µs prefix and fan out the *full* range, so
-        // chunk boundaries (and the worker-lane trace) are identical
-        // to an unprobed run.
-        let mut prefix: Vec<R> = Vec::new();
+        // fan out. Deep fan-outs (more items than workers) discard the
+        // ≤10 µs prefix so chunk boundaries (and the worker-lane
+        // trace) are identical to an unprobed run; wide-but-shallow
+        // fan-outs (at most one item per worker, e.g. a handful of
+        // figure curves) keep the prefix and fan out only the
+        // remainder, because there a single probed item can be the
+        // dominant cost and recomputing it would stretch the critical
+        // path by a whole item.
         let p0 = Instant::now();
         let mut elapsed = 0u64;
         while prefix.len() < items.len() {
@@ -311,8 +320,8 @@ where
                 break;
             }
         }
-        let per_chunk =
-            (elapsed / prefix.len() as u64).saturating_mul((items.len() / workers) as u64);
+        let chunk_items = (items.len() / workers).max(1) as u64;
+        let per_chunk = (elapsed / prefix.len() as u64).saturating_mul(chunk_items);
         if prefix.len() == items.len() || per_chunk < threshold {
             for (i, item) in items.iter().enumerate().skip(prefix.len()) {
                 prefix.push(f(i, item));
@@ -320,11 +329,18 @@ where
             record_serial(items.len());
             return prefix;
         }
+        if items.len() > workers {
+            prefix.clear();
+        }
     }
+    let base = prefix.len();
     let obs = leo_obs::enabled();
     let tracing = leo_trace::enabled();
     let t0 = Instant::now();
-    let plan = chunks(items.len(), workers);
+    let plan: Vec<(usize, usize)> = chunks(items.len() - base, workers)
+        .into_iter()
+        .map(|(lo, hi)| (lo + base, hi + base))
+        .collect();
     let slots: Vec<ChunkSlot<Vec<R>>> = plan.iter().map(|_| Mutex::new(None)).collect();
     pool::run_chunks(plan.len(), &|w| {
         let (lo, hi) = plan[w];
@@ -340,7 +356,8 @@ where
         }
         *slots[w].lock() = Some((out, w1.saturating_duration_since(w0).as_nanos() as u64));
     });
-    let mut out = Vec::with_capacity(items.len());
+    let mut out = prefix;
+    out.reserve(items.len() - base);
     let mut busy = Vec::with_capacity(plan.len());
     for slot in &slots {
         let (chunk, busy_ns) = slot.lock().take().expect("every chunk completed");
@@ -350,7 +367,7 @@ where
     if obs {
         record_fanout(
             "parallel.par_map_calls",
-            items.len(),
+            items.len() - base,
             &busy,
             t0.elapsed().as_nanos() as u64,
         );
@@ -374,32 +391,45 @@ where
         return out;
     }
     let threshold = effective_serial_threshold_ns();
-    if threshold > 0 && len > workers {
-        let mut done = 0usize;
-        let mut acc = 0u64;
+    let mut base = 0usize;
+    let mut acc = 0u64;
+    if threshold > 0 {
+        // Same probe policy as `par_map`: integer addition is exact,
+        // so the probed prefix's partial sum folds into the total no
+        // matter how the remainder is chunked. Deep fan-outs still
+        // discard it to keep the chunk plan identical to an unprobed
+        // run; shallow ones keep it.
         let p0 = Instant::now();
         let mut elapsed = 0u64;
-        while done < len {
-            acc += f(done);
-            done += 1;
+        while base < len {
+            acc += f(base);
+            base += 1;
             elapsed = p0.elapsed().as_nanos() as u64;
             if elapsed >= PROBE_BUDGET_NS {
                 break;
             }
         }
-        let per_chunk = (elapsed / done as u64).saturating_mul((len / workers) as u64);
-        if done == len || per_chunk < threshold {
-            for i in done..len {
+        let chunk_items = (len / workers).max(1) as u64;
+        let per_chunk = (elapsed / base as u64).saturating_mul(chunk_items);
+        if base == len || per_chunk < threshold {
+            for i in base..len {
                 acc += f(i);
             }
             record_serial(len);
             return acc;
         }
+        if len > workers {
+            base = 0;
+            acc = 0;
+        }
     }
     let obs = leo_obs::enabled();
     let tracing = leo_trace::enabled();
     let t0 = Instant::now();
-    let plan = chunks(len, workers);
+    let plan: Vec<(usize, usize)> = chunks(len - base, workers)
+        .into_iter()
+        .map(|(lo, hi)| (lo + base, hi + base))
+        .collect();
     let slots: Vec<ChunkSlot<u64>> = plan.iter().map(|_| Mutex::new(None)).collect();
     pool::run_chunks(plan.len(), &|w| {
         let (lo, hi) = plan[w];
@@ -411,7 +441,7 @@ where
         }
         *slots[w].lock() = Some((sum, w1.saturating_duration_since(w0).as_nanos() as u64));
     });
-    let mut total = 0u64;
+    let mut total = acc;
     let mut busy = Vec::with_capacity(plan.len());
     for slot in &slots {
         let (sum, busy_ns) = slot.lock().take().expect("every chunk completed");
@@ -421,7 +451,7 @@ where
     if obs {
         record_fanout(
             "parallel.par_sum_calls",
-            len,
+            len - base,
             &busy,
             t0.elapsed().as_nanos() as u64,
         );
@@ -686,6 +716,57 @@ mod tests {
             ids.iter().all(|&id| id == me),
             "sub-threshold work left the caller"
         );
+    }
+
+    #[test]
+    fn shallow_sub_threshold_fanouts_run_serially_on_the_caller() {
+        let me = std::thread::current().id();
+        // Fewer items than workers: the probe must still run and still
+        // reach the serial verdict for cheap items — this is the warm
+        // figure-sweep shape (a handful of microsecond rows across
+        // many workers) that used to dispatch unconditionally.
+        let ids = with_serial_threshold(u64::MAX, || {
+            with_threads(8, || par_map(&[0u8; 3], |_, _| std::thread::current().id()))
+        });
+        assert!(
+            ids.iter().all(|&id| id == me),
+            "shallow sub-threshold work left the caller"
+        );
+        let sum = with_serial_threshold(u64::MAX, || {
+            with_threads(8, || par_sum_u64(3, |i| i as u64 + 10))
+        });
+        assert_eq!(sum, 33);
+    }
+
+    #[test]
+    fn shallow_over_threshold_fanouts_keep_the_probed_prefix() {
+        // Fewer expensive items than workers: the probe computes item 0,
+        // the pool computes the rest; results must match the serial
+        // reference exactly (the prefix is kept, not recomputed).
+        let slow = |i: usize, &x: &u64| {
+            let t0 = Instant::now();
+            while t0.elapsed().as_micros() < 200 {
+                std::hint::black_box(i);
+            }
+            x * 2 + i as u64
+        };
+        let items = [5u64, 7, 9, 11];
+        let serial = with_threads(1, || par_map(&items, slow));
+        let probed = with_serial_threshold(1, || with_threads(16, || par_map(&items, slow)));
+        assert_eq!(serial, probed);
+        let expect: u64 = (0..50).map(|i| i + 100).sum();
+        let got = with_serial_threshold(1, || {
+            with_threads(16, || {
+                par_sum_u64(50, |i| {
+                    let t0 = Instant::now();
+                    while t0.elapsed().as_micros() < 20 {
+                        std::hint::black_box(i);
+                    }
+                    i as u64 + 100
+                })
+            })
+        });
+        assert_eq!(got, expect);
     }
 
     #[test]

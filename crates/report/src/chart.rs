@@ -5,7 +5,7 @@
 //! map. Everything produces standalone SVG via [`crate::svg`].
 
 use crate::error::ReportError;
-use crate::svg::{ramp_color, SvgDoc, PALETTE};
+use crate::svg::{ramp_color, ramp_color_into, SvgDoc, PALETTE};
 
 const MARGIN_L: f64 = 70.0;
 const MARGIN_R: f64 = 20.0;
@@ -401,9 +401,16 @@ impl PointMap {
         let sx = |lng: f64| 20.0 + (lng - lng0) / (lng1 - lng0).max(1e-9) * pw;
         let sy = |lat: f64| 30.0 + (1.0 - (lat - lat0) / (lat1 - lat0).max(1e-9)) * ph;
         let lmax = (wmax as f64).ln().max(1e-9);
+        // One reused color buffer for the ~20k-point paper-scale map,
+        // and one up-front body reservation (a circle element runs
+        // ~58 bytes; 64 leaves headroom so the body never reallocates).
+        doc.reserve(self.points.len() * 64);
+        let mut color = String::with_capacity(7);
         for &(lat, lng, w) in &self.points {
             let t = (w.max(1) as f64).ln() / lmax;
-            doc.circle(sx(lng), sy(lat), 1.1 + 2.2 * t, &ramp_color(t));
+            color.clear();
+            ramp_color_into(t, &mut color);
+            doc.circle(sx(lng), sy(lat), 1.1 + 2.2 * t, &color);
         }
         doc.finish()
     }

@@ -3,18 +3,18 @@
 use std::fmt::Write as _;
 
 /// Builds CSV text in memory; callers persist it with `std::fs`.
+///
+/// Every record path streams straight into the output buffer — the
+/// only steady-state allocation is the buffer's own growth, so
+/// artifact stages can emit tens of thousands of records without
+/// churning the allocator.
 #[derive(Debug, Clone, Default)]
 pub struct CsvWriter {
     buf: String,
     width: Option<usize>,
-}
-
-fn escape(field: &str) -> String {
-    if field.contains(',') || field.contains('"') || field.contains('\n') {
-        format!("\"{}\"", field.replace('"', "\"\""))
-    } else {
-        field.to_string()
-    }
+    /// Reused per-field formatting scratch (`record_display` and
+    /// [`CsvRow::field`] render values here before escaping).
+    scratch: String,
 }
 
 impl CsvWriter {
@@ -23,21 +23,61 @@ impl CsvWriter {
         Self::default()
     }
 
+    /// Appends one RFC-4180-escaped field to the buffer.
+    fn push_escaped(&mut self, field: &str) {
+        if field.contains(',') || field.contains('"') || field.contains('\n') {
+            self.buf.push('"');
+            for ch in field.chars() {
+                if ch == '"' {
+                    self.buf.push('"');
+                }
+                self.buf.push(ch);
+            }
+            self.buf.push('"');
+        } else {
+            self.buf.push_str(field);
+        }
+    }
+
+    fn end_record(&mut self, fields: usize) {
+        match self.width {
+            None => self.width = Some(fields),
+            Some(w) => assert_eq!(w, fields, "inconsistent CSV record width"),
+        }
+        self.buf.push('\n');
+    }
+
     /// Writes one record; all records must have the same field count.
     pub fn record<S: AsRef<str>>(&mut self, fields: &[S]) -> &mut Self {
-        match self.width {
-            None => self.width = Some(fields.len()),
-            Some(w) => assert_eq!(w, fields.len(), "inconsistent CSV record width"),
+        for (i, f) in fields.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.push_escaped(f.as_ref());
         }
-        let line: Vec<String> = fields.iter().map(|f| escape(f.as_ref())).collect();
-        let _ = writeln!(self.buf, "{}", line.join(","));
+        self.end_record(fields.len());
         self
     }
 
     /// Writes a record of displayable values.
     pub fn record_display<T: std::fmt::Display>(&mut self, fields: &[T]) -> &mut Self {
-        let strings: Vec<String> = fields.iter().map(|f| f.to_string()).collect();
-        self.record(&strings)
+        let mut row = CsvRow { w: self, n: 0 };
+        for f in fields {
+            row.field(f);
+        }
+        let n = row.n;
+        self.end_record(n);
+        self
+    }
+
+    /// Streams one record field by field; `row.field` takes anything
+    /// `Display`, including a zero-allocation `format_args!`.
+    pub fn record_with(&mut self, build: impl FnOnce(&mut CsvRow)) -> &mut Self {
+        let mut row = CsvRow { w: self, n: 0 };
+        build(&mut row);
+        let n = row.n;
+        self.end_record(n);
+        self
     }
 
     /// The CSV text so far.
@@ -49,6 +89,28 @@ impl CsvWriter {
     /// or unwritable directory, ...) instead of panicking.
     pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
         std::fs::write(path, &self.buf)
+    }
+}
+
+/// One in-flight record of a [`CsvWriter::record_with`] call.
+pub struct CsvRow<'a> {
+    w: &'a mut CsvWriter,
+    n: usize,
+}
+
+impl CsvRow<'_> {
+    /// Appends one field, rendered through the writer's reused scratch.
+    pub fn field(&mut self, value: impl std::fmt::Display) -> &mut Self {
+        if self.n > 0 {
+            self.w.buf.push(',');
+        }
+        self.n += 1;
+        let mut scratch = std::mem::take(&mut self.w.scratch);
+        scratch.clear();
+        let _ = write!(scratch, "{value}");
+        self.w.push_escaped(&scratch);
+        self.w.scratch = scratch;
+        self
     }
 }
 
@@ -85,6 +147,27 @@ mod tests {
         let mut w = CsvWriter::new();
         w.record_display(&[1.5, 2.0]);
         assert_eq!(w.finish(), "1.5,2\n");
+    }
+
+    #[test]
+    fn streamed_records_match_slice_records() {
+        let mut w = CsvWriter::new();
+        w.record_with(|r| {
+            r.field("plan, basic")
+                .field(format_args!("{:.2}", 9.5))
+                .field(42u64);
+        });
+        assert_eq!(w.finish(), "\"plan, basic\",9.50,42\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent CSV record width")]
+    fn streamed_width_mismatch_panics() {
+        let mut w = CsvWriter::new();
+        w.record(&["a", "b"]);
+        w.record_with(|r| {
+            r.field("only");
+        });
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub mod svg;
 pub mod table;
 
 pub use chart::{Heatmap, Histogram, LineChart, PointMap, Series};
-pub use csv::CsvWriter;
+pub use csv::{CsvRow, CsvWriter};
 pub use error::ReportError;
 pub use markdown::{Align, MarkdownTable};
 pub use spark::sparkline;

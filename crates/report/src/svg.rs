@@ -45,6 +45,12 @@ impl SvgDoc {
         self.height
     }
 
+    /// Pre-reserves body capacity; element-heavy renders (the ~20k-dot
+    /// point map) call this once instead of doubling a megabyte string.
+    pub fn reserve(&mut self, bytes: usize) {
+        self.body.reserve(bytes);
+    }
+
     /// A filled (and optionally stroked) rectangle.
     pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, stroke: Option<&str>) {
         let s = stroke
@@ -64,19 +70,22 @@ impl SvgDoc {
         );
     }
 
-    /// An unfilled polyline through the given points.
+    /// An unfilled polyline through the given points, streamed into the
+    /// body without a per-point string.
     pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) {
         if points.len() < 2 {
             return;
         }
-        let pts: Vec<String> = points
-            .iter()
-            .map(|(x, y)| format!("{x:.2},{y:.2}"))
-            .collect();
+        self.body.push_str("<polyline points=\"");
+        for (i, (x, y)) in points.iter().enumerate() {
+            if i > 0 {
+                self.body.push(' ');
+            }
+            let _ = write!(self.body, "{x:.2},{y:.2}");
+        }
         let _ = writeln!(
             self.body,
-            "<polyline points=\"{}\" fill=\"none\" stroke=\"{stroke}\" stroke-width=\"{width}\"/>",
-            pts.join(" ")
+            "\" fill=\"none\" stroke=\"{stroke}\" stroke-width=\"{width}\"/>"
         );
     }
 
@@ -123,6 +132,14 @@ pub const PALETTE: [&str; 6] = [
 /// Maps `t ∈ [0,1]` to a perceptually reasonable blue→yellow ramp for
 /// heatmaps (a compact viridis-like approximation).
 pub fn ramp_color(t: f64) -> String {
+    let mut out = String::with_capacity(7);
+    ramp_color_into(t, &mut out);
+    out
+}
+
+/// [`ramp_color`] into a caller-owned buffer, for per-point loops that
+/// would otherwise allocate one string per ramp lookup.
+pub fn ramp_color_into(t: f64, out: &mut String) {
     let t = t.clamp(0.0, 1.0);
     // Piecewise-linear through viridis anchor colors.
     const ANCHORS: [(f64, (u8, u8, u8)); 5] = [
@@ -147,12 +164,13 @@ pub fn ramp_color(t: f64) -> String {
         0.0
     };
     let mix = |a: u8, b: u8| -> u8 { (a as f64 + f * (b as f64 - a as f64)).round() as u8 };
-    format!(
+    let _ = write!(
+        out,
         "#{:02x}{:02x}{:02x}",
         mix(lo.1 .0, hi.1 .0),
         mix(lo.1 .1, hi.1 .1),
         mix(lo.1 .2, hi.1 .2)
-    )
+    );
 }
 
 #[cfg(test)]

@@ -21,6 +21,14 @@
 # BENCH_SCALING_SKIP=1 to bypass on a loaded or shared box. Below 4
 # cores the check is skipped: the ratio is recorded but meaningless.
 #
+# The JSON further records `decode_throughput_mbps` (warm snapshot
+# payload bytes over the warm dataset stage's wall-clock) and a
+# `kernels` section of per-kernel medians parsed from the criterion
+# harness's KERNELS_JSON line (Fig 2 row scan, unserved fold,
+# stratified sampling, bulk centers, snapshot encode/decode). Under
+# --gate, a decode throughput more than $BENCH_GATE_PCT percent below
+# the committed BENCH_tier1.json fails (BENCH_DECODE_SKIP=1 bypasses).
+#
 # The canonical warm runs append to a persistent run ledger
 # (BENCH_LEDGER, default .bench-runs.jsonl at the repo root,
 # gitignored) so successive bench invocations build a history.
@@ -150,6 +158,16 @@ done
 diff -r --exclude run_manifest.json "$work/warm-1" "$work/fault-on-rep" \
     || { echo "[bench] inert fault plan changed artifact bytes" >&2; exit 1; }
 
+# Per-kernel medians: bench_kernels ends with a machine-readable
+# KERNELS_JSON line (and asserts each rewritten kernel is bit-identical
+# to its scalar baseline — a gate in itself).
+echo "[bench] cargo bench -p leo-bench --bench bench_kernels"
+cargo bench -p leo-bench --bench bench_kernels > "$work/kernels.out" 2>&1 \
+    || { cat "$work/kernels.out" >&2; exit 1; }
+sed -n 's/^KERNELS_JSON: //p' "$work/kernels.out" > "$work/kernels.json"
+[ -s "$work/kernels.json" ] \
+    || { echo "[bench] bench_kernels printed no KERNELS_JSON line" >&2; exit 1; }
+
 python3 - "$work" BENCH_tier1.json <<'PY'
 import json, os, platform, sys
 
@@ -209,6 +227,15 @@ result["thread_scaling"] = {
     "cold": round(t4["cold_wall_ms"] / t1["cold_wall_ms"], 4),
     "warm": round(t4["warm_wall_ms"] / t1["warm_wall_ms"], 4),
 }
+# End-to-end warm decode throughput: snapshot payload bytes read over
+# the single-threaded warm dataset stage's wall-clock (MB/s) — the
+# number the columnar v2 codec is meant to move.
+stage_ms = t1["warm_dataset_stage_ms"] or 0.0
+result["decode_throughput_mbps"] = (
+    round(t1["cache_bytes_read"] / 1e6 / (stage_ms / 1e3), 2) if stage_ms else 0.0)
+# Per-kernel criterion medians (bench_kernels' KERNELS_JSON line).
+with open(f"{work}/kernels.json") as f:
+    result["kernels"] = json.load(f)
 with open(out_path, "w") as f:
     json.dump(result, f, indent=2)
     f.write("\n")
@@ -222,6 +249,8 @@ print(f"[bench] fault-site overhead (1-thread cpu floor): {result['fault_overhea
 scaling = result["thread_scaling"]
 print(f"[bench] thread scaling (threads_4 / threads_1): "
       f"cold {scaling['cold']:.2f}x, warm {scaling['warm']:.2f}x")
+print(f"[bench] warm decode throughput: {result['decode_throughput_mbps']:.1f} MB/s; "
+      f"snapshot_decode median {result['kernels']['snapshot_decode_ms']:.3f} ms")
 print(f"[bench] wrote {out_path}")
 PY
 
@@ -280,6 +309,40 @@ print("[bench] thread-scaling gate passed: 4 threads beat 1 thread")
 PY
 else
     echo "[bench] $cores core(s) < 4: thread-scaling gate skipped (ratio recorded only)"
+fi
+
+# Decode-throughput gate (--gate only): the warm dataset stage is the
+# snapshot decode path; a throughput more than BENCH_GATE_PCT percent
+# below the committed BENCH_tier1.json means the codec or its consumers
+# regressed. The first bench on a branch with no committed baseline
+# (or one predating the field) passes.
+if [ $gate -eq 1 ]; then
+    if [ "${BENCH_DECODE_SKIP:-0}" = "1" ]; then
+        echo "[bench] BENCH_DECODE_SKIP=1: decode-throughput gate skipped"
+    elif git show HEAD:BENCH_tier1.json > "$work/bench-base.json" 2>/dev/null; then
+        python3 - BENCH_tier1.json "$work/bench-base.json" "${BENCH_GATE_PCT:-20}" <<'PY'
+import json, sys
+
+cur = json.load(open(sys.argv[1]))
+base = json.load(open(sys.argv[2]))
+budget = float(sys.argv[3])
+old = base.get("decode_throughput_mbps")
+new = cur.get("decode_throughput_mbps", 0.0)
+if not old:
+    print("[bench] committed BENCH_tier1.json has no decode_throughput_mbps: "
+          "gate skipped")
+    sys.exit(0)
+drop = 100.0 * (old - new) / old
+if drop > budget:
+    sys.exit(f"[bench] decode throughput {new:.1f} MB/s is {drop:.1f}% below the "
+             f"committed {old:.1f} MB/s (> {budget}% budget; "
+             "BENCH_DECODE_SKIP=1 to bypass)")
+print(f"[bench] decode-throughput gate passed: {new:.1f} MB/s "
+      f"vs {old:.1f} MB/s committed")
+PY
+    else
+        echo "[bench] no committed BENCH_tier1.json: decode-throughput gate skipped"
+    fi
 fi
 
 # Trend gate: the warm runs above appended to $ledger; `divide

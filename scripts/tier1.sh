@@ -176,6 +176,35 @@ trap 'rm -rf "$out" "$cachedir" "$cold" "$warm" "$nocache"' EXIT
 diff -r --exclude run_manifest.json "$cold" "$nocache" \
     || { echo "[tier1] --no-cache artifacts differ" >&2; exit 1; }
 
+echo "[tier1] stale-schema snapshot fails closed and regenerates"
+# Rewind the on-disk dataset container to schema v1 (the little-endian
+# u32 at byte 12, after the 8-byte magic and 4-byte container version).
+# The next run must treat it as cache.invalid, regenerate byte-identical
+# artifacts, and re-save the snapshot at the current schema.
+python3 - "$cachedir" <<'PY'
+import glob, sys
+
+snaps = glob.glob(f"{sys.argv[1]}/dataset-*.snap")
+assert snaps, "no dataset snapshot to age"
+for path in snaps:
+    body = bytearray(open(path, "rb").read())
+    body[12:16] = (1).to_bytes(4, "little")
+    open(path, "wb").write(bytes(body))
+PY
+stale="$(mktemp -d)"
+trap 'rm -rf "$out" "$cachedir" "$cold" "$warm" "$nocache" "$stale"' EXIT
+./target/release/divide --scale small all --out "$stale" --cache "$cachedir" -q
+diff -r --exclude run_manifest.json "$cold" "$stale" \
+    || { echo "[tier1] stale-schema regeneration artifacts differ" >&2; exit 1; }
+python3 - "$stale/run_manifest.json" <<'PY'
+import json, sys
+
+counters = json.load(open(sys.argv[1]))["metrics"]["counters"]
+assert counters.get("cache.invalid", 0) >= 1, counters
+assert counters.get("cache.bytes_written", 0) > 0, counters
+print("[tier1] v1-schema container invalidated, regenerated, re-saved")
+PY
+
 echo "[tier1] --trace writes a valid Chrome trace without touching artifacts"
 traced="$(mktemp -d)"
 trap 'rm -rf "$out" "$cachedir" "$cold" "$warm" "$nocache" "$traced"' EXIT

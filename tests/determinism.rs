@@ -268,6 +268,8 @@ fn warm_snapshot_artifacts_are_bit_identical_to_cold() {
     let warm_again_1 = render(1, true); // this one decodes the snapshot
     let warm_4 = render(4, true);
     let cold_4 = render(4, false);
+    let warm_8 = render(8, true);
+    let cold_8 = render(8, false);
 
     assert_eq!(cold_1, warm_1, "cache write path changed artifacts");
     assert_eq!(
@@ -275,7 +277,75 @@ fn warm_snapshot_artifacts_are_bit_identical_to_cold() {
         "warm decode differs from cold at 1 thread"
     );
     assert_eq!(cold_4, warm_4, "warm decode differs from cold at 4 threads");
+    assert_eq!(cold_8, warm_8, "warm decode differs from cold at 8 threads");
     assert_eq!(cold_1, cold_4, "thread count leaked into artifacts");
+    assert_eq!(cold_1, cold_8, "thread count leaked into artifacts at 8");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The columnar-layout contract (DESIGN.md §14): the struct-of-arrays
+/// view is a bit-exact mirror of the row-major cells — at any thread
+/// count, and whether the dataset was generated cold or decoded from a
+/// schema-v2 snapshot. The hot kernels (the sensitivity fold, the peak
+/// scans) must agree with a scalar walk over the rows.
+#[test]
+fn columnar_views_mirror_rows_cold_warm_and_across_threads() {
+    use starlink_divide_repro::cache::DatasetCache;
+
+    let dir = std::env::temp_dir().join(format!("divide_determinism_cols_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = DatasetCache::new(&dir);
+    let cfg = SynthConfig::small();
+
+    let check_mirror = |ds: &BroadbandDataset, label: &str| {
+        assert_eq!(ds.cols.len(), ds.cells.len(), "{label}: column length");
+        for (i, c) in ds.cells.iter().enumerate() {
+            assert_eq!(ds.cols.cell[i], c.cell, "{label}: cell id {i}");
+            assert_eq!(ds.cols.locations[i], c.locations, "{label}: count {i}");
+            assert_eq!(ds.cols.county[i], c.county, "{label}: county {i}");
+            assert_eq!(
+                ds.cols.lat_deg[i].to_bits(),
+                c.center.lat_deg().to_bits(),
+                "{label}: lat {i}"
+            );
+            assert_eq!(
+                ds.cols.lng_deg[i].to_bits(),
+                c.center.lng_deg().to_bits(),
+                "{label}: lng {i}"
+            );
+        }
+        // Kernels vs the scalar row walk.
+        for limit in [0u64, 61, 3_465, u64::MAX] {
+            let scalar: u64 = ds
+                .cells
+                .iter()
+                .map(|c| c.locations.saturating_sub(limit))
+                .sum();
+            assert_eq!(
+                ds.cols.unserved_above(limit),
+                scalar,
+                "{label}: unserved_above({limit})"
+            );
+        }
+    };
+
+    let cold = with_threads(1, || BroadbandDataset::generate(&cfg));
+    check_mirror(&cold, "cold serial");
+    let cold_8 = with_threads(8, || BroadbandDataset::generate(&cfg));
+    check_mirror(&cold_8, "cold 8-thread");
+    let _seed = cache.load_or_generate(&cfg); // seeds the snapshot
+    let warm = cache.load_or_generate(&cfg); // decodes schema v2
+    check_mirror(&warm, "warm decode");
+    assert_eq!(cold.cols.cell, warm.cols.cell, "warm cell column diverged");
+    assert_eq!(
+        cold.cols.locations, warm.cols.locations,
+        "warm count column diverged"
+    );
+    for (a, b) in cold.cols.lat_deg.iter().zip(warm.cols.lat_deg.iter()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "warm lat column diverged");
+    }
+    assert_eq!(cold.cols.cell, cold_8.cols.cell, "thread count leaked");
 
     let _ = std::fs::remove_dir_all(&dir);
 }
