@@ -2,15 +2,20 @@
 //! gate over the run-history ledger.
 //!
 //! Where `divide report` diffs exactly two records pairwise, `history`
-//! reads the append-only `runs.jsonl` ledger (`leo-obs/run-ledger/v1`,
+//! reads the append-only `runs.jsonl` ledger (`leo-obs/run-ledger/v2`,
 //! see `leo_obs::ledger`), filters it to runs *comparable* with the
 //! newest one (same command, scale, and thread count), and renders one
 //! trend row per metric — per-stage and total wall-clock, per-stage
-//! and run-level peak heap, peak RSS — with min/median/max over the
-//! window, an ASCII sparkline, and the newest run's delta against the
-//! **median of its predecessors**. A median baseline makes the gate
-//! robust to a single outlier run in either direction, which pairwise
-//! diffing is not.
+//! pool busy time and chunk counts, per-stage and run-level peak heap,
+//! peak RSS — with min/median/max over the window, an ASCII sparkline,
+//! and the newest run's delta against the **median of its
+//! predecessors**. A median baseline makes the gate robust to a single
+//! outlier run in either direction, which pairwise diffing is not.
+//!
+//! Records from older schemas (`v1` lacked the per-stage parallel
+//! fields) are skipped by the exact-schema filter, the same way
+//! corrupt lines are — an old ledger never breaks `history`, it just
+//! shrinks the window.
 //!
 //! Exit codes mirror `report`: 0 ok (including "not enough history to
 //! judge"), 3 when any metric regressed beyond `--max-regress-pct`,
@@ -52,6 +57,10 @@ enum Unit {
     Ms,
     Bytes,
     Kb,
+    /// Dimensionless counts (pool chunks). Trended for context but
+    /// never gated: a chunk-count change tracks workload shape, not a
+    /// performance regression — hence the infinite floor.
+    Count,
 }
 
 impl Unit {
@@ -60,6 +69,7 @@ impl Unit {
             Unit::Ms => opts.min_wall_ms,
             Unit::Bytes => MIN_HEAP_BYTES,
             Unit::Kb => MIN_RSS_KB,
+            Unit::Count => f64::INFINITY,
         }
     }
 
@@ -72,6 +82,7 @@ impl Unit {
             Unit::Ms => format!("{v:.2}"),
             Unit::Bytes => format!("{:.1}", v / (1024.0 * 1024.0)),
             Unit::Kb => format!("{:.1}", v / 1024.0),
+            Unit::Count => format!("{v:.0}"),
         }
     }
 
@@ -80,6 +91,7 @@ impl Unit {
             Unit::Ms => "ms",
             Unit::Bytes => "MiB",
             Unit::Kb => "MB rss",
+            Unit::Count => "count",
         }
     }
 }
@@ -131,6 +143,26 @@ fn metrics_of(runs: &[&Json]) -> Vec<Metric> {
         unit: Unit::Ms,
         values: column(&|r| top_field(r, "wall_ms")),
     });
+    // Per-stage parallel-efficiency rows (v2 ledger fields): pool busy
+    // time gates like any wall metric, chunk counts only trend.
+    for stage in stage_names(newest) {
+        let busy = column(&|r| stage_field(r, &stage, "busy_ns") / 1e6);
+        if busy.iter().any(|v| v.is_finite()) {
+            metrics.push(Metric {
+                name: format!("{stage} par busy"),
+                unit: Unit::Ms,
+                values: busy,
+            });
+        }
+        let chunks = column(&|r| stage_field(r, &stage, "chunks"));
+        if chunks.iter().any(|v| v.is_finite()) {
+            metrics.push(Metric {
+                name: format!("{stage} par chunks"),
+                unit: Unit::Count,
+                values: chunks,
+            });
+        }
+    }
     for stage in stage_names(newest) {
         let values = column(&|r| stage_field(r, &stage, "peak_heap_delta"));
         if values.iter().any(|v| v.is_finite()) {
@@ -381,5 +413,92 @@ mod tests {
         let b = rec("fig2", 5.0, 1);
         assert!(same_identity(&a, &a));
         assert!(!same_identity(&a, &b));
+    }
+
+    /// A record under `schema` whose dataset stage carries the
+    /// parallel fields (`Json::set` appends, so the schema must be
+    /// chosen up front, not overridden later).
+    fn rec_schema(schema: &str, wall: f64, busy_ns: u64, chunks: u64) -> Json {
+        Json::obj()
+            .set("schema", schema)
+            .set("command", "all")
+            .set("scale", "small")
+            .set("threads", 4u64)
+            .set("wall_ms", wall)
+            .set(
+                "stages",
+                Json::obj().set(
+                    "dataset",
+                    Json::obj()
+                        .set("wall_ms", wall / 2.0)
+                        .set("busy_ns", busy_ns)
+                        .set("chunks", chunks),
+                ),
+            )
+    }
+
+    fn rec_par(wall: f64, busy_ns: u64, chunks: u64) -> Json {
+        rec_schema(ledger::SCHEMA, wall, busy_ns, chunks)
+    }
+
+    #[test]
+    fn parallel_rows_trend_busy_and_chunks() {
+        let a = rec_par(100.0, 40_000_000, 4);
+        let b = rec_par(110.0, 44_000_000, 4);
+        let runs = vec![&a, &b];
+        let metrics = metrics_of(&runs);
+        let busy = metrics
+            .iter()
+            .find(|m| m.name == "dataset par busy")
+            .expect("busy row");
+        assert_eq!(busy.values, vec![40.0, 44.0], "busy_ns rendered as ms");
+        assert!(matches!(busy.unit, Unit::Ms));
+        let chunks = metrics
+            .iter()
+            .find(|m| m.name == "dataset par chunks")
+            .expect("chunks row");
+        assert_eq!(chunks.values, vec![4.0, 4.0]);
+        assert!(
+            chunks.unit.floor(&HistoryOpts {
+                ledger: PathBuf::new(),
+                last: 10,
+                max_regress_pct: 10.0,
+                min_wall_ms: 0.0,
+            }) == f64::INFINITY,
+            "chunk counts never gate"
+        );
+        // Records without the fields (an all-serial run) grow no rows.
+        let plain = rec("all", 100.0, 1);
+        let only = vec![&plain];
+        assert!(!metrics_of(&only)
+            .iter()
+            .any(|m| m.name.contains("par busy") || m.name.contains("par chunks")));
+    }
+
+    #[test]
+    fn old_schema_lines_are_skipped_not_fatal() {
+        use std::io::Write;
+        let dir = std::env::temp_dir().join(format!("divide_history_v1_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("runs.jsonl");
+        // Two v1-era records (10× faster — would trip the gate if the
+        // reader compared across schemas), a corrupt line, one v2 run.
+        let mut file = std::fs::File::create(&path).unwrap();
+        for _ in 0..2 {
+            let v1 = rec_schema("leo-obs/run-ledger/v1", 10.0, 4_000_000, 4);
+            writeln!(file, "{}", v1.render()).unwrap();
+        }
+        writeln!(file, "{{\"truncated\": tr").unwrap();
+        writeln!(file, "{}", rec_par(100.0, 40_000_000, 4).render()).unwrap();
+        drop(file);
+        let code = run(&HistoryOpts {
+            ledger: path,
+            last: 10,
+            max_regress_pct: 10.0,
+            min_wall_ms: 0.0,
+        });
+        assert_eq!(code, 0, "a lone v2 run gates against nothing");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

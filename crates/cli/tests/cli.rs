@@ -113,11 +113,11 @@ fn report_exit_codes_cover_ok_regression_io_and_usage() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// A hand-built `leo-obs/run-ledger/v1` line as a real run appends it.
+/// A hand-built `leo-obs/run-ledger/v2` line as a real run appends it.
 fn ledger_line(command: &str, wall_ms: f64, peak_heap: u64) -> String {
     format!(
         concat!(
-            "{{\"schema\":\"leo-obs/run-ledger/v1\",\"ts_unix\":1,",
+            "{{\"schema\":\"leo-obs/run-ledger/v2\",\"ts_unix\":1,",
             "\"command\":\"{}\",\"scale\":\"small\",\"seed\":7,\"threads\":2,",
             "\"argv\":[\"divide\"],\"wall_ms\":{},",
             "\"stages\":{{\"dataset\":{{\"wall_ms\":{},\"alloc_bytes\":1000,",
@@ -240,7 +240,7 @@ fn runs_append_to_the_ledger_unless_obs_or_ledger_is_off() {
         let rec = Json::parse(line).expect("ledger line parses");
         assert_eq!(
             rec.get("schema").and_then(Json::as_str),
-            Some("leo-obs/run-ledger/v1")
+            Some("leo-obs/run-ledger/v2")
         );
         assert_eq!(rec.get("command").and_then(Json::as_str), Some("table1"));
         assert!(
@@ -461,8 +461,11 @@ fn trace_flag_writes_chrome_trace_with_worker_lanes_and_folded_stacks() {
     }
 
     // Folded stacks: every top-level manifest span total must equal the
-    // sum of the folded lines containing that frame (ISSUE: within 1%;
-    // the shared-timestamp design makes it exact, so assert tight).
+    // sum of the *main-lane* folded lines containing that frame
+    // (ISSUE: within 1%; the shared-timestamp design makes it exact,
+    // so assert tight). Worker lanes are excluded: chunks carry their
+    // owning stage's path as parent frames there, and that busy time
+    // already lives inside the stage's inclusive main-lane total.
     let folded = std::fs::read_to_string(dir.join("trace.folded")).expect("trace.folded");
     let manifest =
         Json::parse(&std::fs::read_to_string(dir.join("run_manifest.json")).expect("manifest"))
@@ -480,7 +483,11 @@ fn trace_flag_writes_chrome_trace_with_worker_lanes_and_folded_stacks() {
         let mut folded_ns = 0.0;
         for line in folded.lines() {
             let (stack, ns) = line.rsplit_once(' ').expect("folded line");
-            if stack.split(';').any(|frame| frame == name) {
+            let mut frames = stack.split(';');
+            if frames.next() != Some("main") {
+                continue;
+            }
+            if frames.any(|frame| frame == name) {
                 folded_ns += ns.parse::<f64>().expect("folded ns");
             }
         }
@@ -490,6 +497,15 @@ fn trace_flag_writes_chrome_trace_with_worker_lanes_and_folded_stacks() {
             "span {name}: manifest {total} ns vs folded {folded_ns} ns (rel {rel:.4})"
         );
     }
+
+    // Worker lanes telescope: at least one chunk stack nests under the
+    // stage that dispatched it (lane;stage.*;...;parallel.*).
+    assert!(
+        folded
+            .lines()
+            .any(|l| l.starts_with("worker-") && l.contains(";stage.")),
+        "worker chunks must carry their owning stage as parent frames:\n{folded}"
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }

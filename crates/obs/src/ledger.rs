@@ -25,15 +25,19 @@ use crate::span;
 use std::io::Write;
 use std::path::Path;
 
-/// The ledger record schema identifier.
-pub const SCHEMA: &str = "leo-obs/run-ledger/v1";
+/// The ledger record schema identifier. `v2` added per-stage
+/// `busy_ns`/`chunks` parallel-efficiency fields; readers filter on
+/// this exact string, so `v1` lines in an old ledger are skipped the
+/// same way corrupt lines are.
+pub const SCHEMA: &str = "leo-obs/run-ledger/v2";
 
 /// Builds the flat ledger record of the current run from the span,
-/// allocator, metric, and RSS registries. `ts_unix` is seconds since
-/// the epoch (passed in so callers control clock access); `git` is the
-/// output of [`git_describe`], if any.
+/// allocator, metric, parallel-attribution, and RSS registries.
+/// `ts_unix` is seconds since the epoch (passed in so callers control
+/// clock access); `git` is the output of [`git_describe`], if any.
 pub fn build_record(info: &RunInfo, wall_ms: f64, ts_unix: u64, git: Option<&str>) -> Json {
     let allocs = span::alloc_snapshot();
+    let parallel = crate::scope::parallel_snapshot();
     let mut stages = Json::obj();
     for (path, stats) in span::snapshot() {
         let name = match path.strip_prefix("stage.") {
@@ -46,6 +50,11 @@ pub fn build_record(info: &RunInfo, wall_ms: f64, ts_unix: u64, git: Option<&str
                 .set("alloc_bytes", a.alloc_bytes)
                 .set("alloc_count", a.alloc_count)
                 .set("peak_heap_delta", a.peak_heap_delta);
+        }
+        if let Some(attr) = parallel.get(&path) {
+            stage = stage
+                .set("busy_ns", attr.busy_ns)
+                .set("chunks", attr.chunks);
         }
         stages = stages.set(&name, stage);
     }
@@ -196,6 +205,23 @@ mod tests {
         assert!(rec.get("stages").unwrap().get("dataset").is_some());
         assert!(rec.get("io_bytes_read").is_some());
         assert!(rec.get("io_bytes_written").is_some());
+        crate::reset();
+    }
+
+    #[test]
+    fn v2_record_carries_per_stage_parallel_fields() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        {
+            let _stage = span::enter("stage.dataset");
+            crate::scope::attribute_fanout("parallel.par_map", 64, &[30, 50], 60);
+        }
+        let rec = build_record(&info(), 9.0, 1_700_000_000, None);
+        assert_eq!(rec.get("schema").and_then(|v| v.as_str()), Some(SCHEMA));
+        let stage = rec.get("stages").unwrap().get("dataset").unwrap();
+        assert_eq!(stage.get("busy_ns").and_then(|v| v.as_u64()), Some(80));
+        assert_eq!(stage.get("chunks").and_then(|v| v.as_u64()), Some(2));
         crate::reset();
     }
 

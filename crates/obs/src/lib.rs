@@ -1,12 +1,14 @@
 //! # leo-obs
 //!
 //! The workspace's observability substrate: hierarchical timing
-//! [`span`]s, a process-wide [`metrics`] registry (counters, gauges,
-//! fixed-bucket histograms), JSON [`manifest`] emission for reproducible
-//! runs, the leveled stderr [`log`]ger behind the `divide` CLI, the
-//! opt-in [`progress`] line it prints per pipeline stage, process
-//! [`resource`] telemetry (allocator hook + RSS sampling), and the
-//! append-only run-history [`ledger`].
+//! [`span`]s, a [`metrics`] registry (counters, gauges, fixed-bucket
+//! histograms), handle-based [`scope`] contexts that own every
+//! registry (with a process-default scope backing the free-function
+//! API), JSON [`manifest`] emission for reproducible runs, the leveled
+//! stderr [`log`]ger behind the `divide` CLI, the opt-in [`progress`]
+//! line it prints per pipeline stage, process [`resource`] telemetry
+//! (allocator hook + RSS sampling), and the append-only run-history
+//! [`ledger`].
 //!
 //! ## The determinism contract
 //!
@@ -38,6 +40,7 @@ pub mod manifest;
 pub mod metrics;
 pub mod progress;
 pub mod resource;
+pub mod scope;
 pub mod span;
 
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -71,10 +74,10 @@ pub fn set_enabled(on: bool) {
     ENABLED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
 }
 
-/// Clears every observability registry (spans and metrics). Runs that
-/// reuse one process for several measured phases call this between
-/// phases; the CLI calls it once at startup so a manifest only covers
-/// its own invocation.
+/// Clears every observability registry (spans and metrics) of the
+/// calling thread's current scope. Runs that reuse one process for
+/// several measured phases call this between phases; the CLI calls it
+/// once at startup so a manifest only covers its own invocation.
 pub fn reset() {
     span::reset();
     metrics::reset();

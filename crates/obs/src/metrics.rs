@@ -1,15 +1,20 @@
-//! Process-wide metric registry: named counters, gauges, and
+//! Scope-owned metric registry: named counters, gauges, and
 //! fixed-bucket histograms.
 //!
 //! Names follow the `subsystem.metric` convention documented in
 //! DESIGN.md §8 (`parallel.chunks`, `demand.cells`, `fig2.grid_points`,
-//! `orbit.mc_samples`, ...). Every update takes one short global mutex
-//! hold; hot paths therefore record per *batch* (per worker chunk, per
-//! sweep), never per data item. All updates are no-ops while
-//! [`crate::enabled`] is false, and values are only ever read back by
-//! the run manifest — metrics can never perturb artifact bytes.
+//! `orbit.mc_samples`, ...). Updates land in the calling thread's
+//! current [`crate::scope::ObsScope`] (the process-default scope when
+//! none was entered). Counters are *sharded* per scope: a thread
+//! hashes onto one of a few shard locks, so concurrent pool workers
+//! bumping the same counter name rarely contend; reads sum across
+//! shards. Gauges and histograms share the scope's registry lock —
+//! they record per *batch* (per worker chunk, per sweep), never per
+//! data item. All updates are no-ops while [`crate::enabled`] is
+//! false, and values are only ever read back by the run manifest —
+//! metrics can never perturb artifact bytes.
 
-use parking_lot::Mutex;
+use crate::scope;
 use std::collections::BTreeMap;
 
 /// Default histogram buckets: log-spaced upper bounds suited to
@@ -101,22 +106,18 @@ impl Histogram {
     }
 }
 
-static COUNTERS: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
-static GAUGES: Mutex<BTreeMap<String, f64>> = Mutex::new(BTreeMap::new());
-static HISTOGRAMS: Mutex<BTreeMap<String, Histogram>> = Mutex::new(BTreeMap::new());
-
-/// Adds `delta` to the named counter (creating it at zero).
+/// Adds `delta` to the named counter (creating it at zero). Lands in
+/// the calling thread's shard of the current scope; reads sum shards.
 pub fn counter_add(name: &str, delta: u64) {
     if !crate::enabled() {
         return;
     }
-    let mut counters = COUNTERS.lock();
-    match counters.get_mut(name) {
+    scope::with_counter_shard(|counters| match counters.get_mut(name) {
         Some(v) => *v += delta,
         None => {
             counters.insert(name.to_string(), delta);
         }
-    }
+    });
 }
 
 /// Sets the named gauge to `value` (last write wins).
@@ -124,7 +125,9 @@ pub fn gauge_set(name: &str, value: f64) {
     if !crate::enabled() {
         return;
     }
-    GAUGES.lock().insert(name.to_string(), value);
+    scope::with_reg(|reg| {
+        reg.gauges.insert(name.to_string(), value);
+    });
 }
 
 /// Records `value` into the named histogram with [`DEFAULT_BUCKETS`].
@@ -139,20 +142,20 @@ pub fn observe_with(name: &str, bounds: &[f64], value: f64) {
     if !crate::enabled() {
         return;
     }
-    let mut hists = HISTOGRAMS.lock();
-    match hists.get_mut(name) {
+    scope::with_reg(|reg| match reg.histograms.get_mut(name) {
         Some(h) => h.observe(value),
         None => {
             let mut h = Histogram::new(bounds);
             h.observe(value);
-            hists.insert(name.to_string(), h);
+            reg.histograms.insert(name.to_string(), h);
         }
-    }
+    });
 }
 
-/// The value of a counter (zero when never touched).
+/// The value of a counter (zero when never touched), summed across
+/// the current scope's shards.
 pub fn counter_value(name: &str) -> u64 {
-    COUNTERS.lock().get(name).copied().unwrap_or(0)
+    scope::counter_total(name)
 }
 
 /// A point-in-time copy of every metric.
@@ -166,20 +169,22 @@ pub struct MetricsSnapshot {
     pub histograms: BTreeMap<String, Histogram>,
 }
 
-/// Snapshots the whole registry.
+/// Snapshots every metric of the current scope (counters merged
+/// across shards).
 pub fn snapshot() -> MetricsSnapshot {
+    let counters = scope::counters_merged();
+    let (gauges, histograms) = scope::with_reg(|reg| (reg.gauges.clone(), reg.histograms.clone()));
     MetricsSnapshot {
-        counters: COUNTERS.lock().clone(),
-        gauges: GAUGES.lock().clone(),
-        histograms: HISTOGRAMS.lock().clone(),
+        counters,
+        gauges,
+        histograms,
     }
 }
 
-/// Clears every metric.
+/// Clears every metric (and the parallel attribution) of the current
+/// scope.
 pub fn reset() {
-    COUNTERS.lock().clear();
-    GAUGES.lock().clear();
-    HISTOGRAMS.lock().clear();
+    scope::reset_metrics();
 }
 
 #[cfg(test)]

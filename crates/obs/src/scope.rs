@@ -1,0 +1,675 @@
+//! Scoped observability contexts: handle-based ownership of every
+//! measurement registry.
+//!
+//! An [`ObsScope`] owns the storage the rest of this crate writes
+//! into — the span registry, the allocator registry, gauge and
+//! histogram maps, per-stage parallel attribution, and a sharded
+//! counter table. The free functions in [`crate::span`] and
+//! [`crate::metrics`] record into whichever scope is *current* on the
+//! calling thread; threads that never entered a scope fall back to a
+//! lazily created process-default scope, which preserves the
+//! pre-scope, global-statics behaviour byte for byte.
+//!
+//! Two pieces of thread state travel with a scope:
+//!
+//! * the **span stack** (live span paths, innermost last), and
+//! * an optional **base path** — a parent span path inherited across
+//!   the `leo-parallel` pool boundary, so spans opened on a worker
+//!   thread (whose own stack is empty) nest under the dispatching
+//!   caller's innermost span instead of becoming orphan roots.
+//!
+//! [`ObsContext::current`] captures (scope, innermost path) on a
+//! fan-out caller; [`ObsContext::enter`] installs both on the chunk's
+//! executing thread for the duration of the chunk. That is the entire
+//! propagation protocol: the pool itself stays observability-agnostic.
+//!
+//! [`ObsScope::capture`] is the `divide serve` building block: create
+//! a scope, run a closure inside it, and get back a [`Capture`] —
+//! a point-in-time snapshot of everything the closure recorded,
+//! isolated from every other scope in the process.
+
+use crate::metrics::{Histogram, MetricsSnapshot};
+use crate::span::{SpanAllocStats, SpanStats};
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::hash_map::RandomState;
+use std::collections::BTreeMap;
+use std::hash::BuildHasher;
+use std::sync::{Arc, OnceLock};
+
+/// Number of counter shards per scope. Counter updates hash the
+/// calling thread onto one shard, so N pool workers bumping the same
+/// counter name usually touch N different locks instead of
+/// serialising on one; snapshots sum across shards.
+pub(crate) const COUNTER_SHARDS: usize = 8;
+
+/// Everything a scope owns behind its single registry lock. One lock
+/// hold covers a whole span exit (timing + allocator stats), which is
+/// what fixed the old REGISTRY/ALLOC_REGISTRY double-lock.
+#[derive(Default)]
+pub(crate) struct Registries {
+    /// Span path → timing stats.
+    pub(crate) spans: BTreeMap<String, SpanStats>,
+    /// Top-level span path → allocator stats.
+    pub(crate) span_allocs: BTreeMap<String, SpanAllocStats>,
+    /// Gauge name → last written value.
+    pub(crate) gauges: BTreeMap<String, f64>,
+    /// Histogram name → contents.
+    pub(crate) histograms: BTreeMap<String, Histogram>,
+    /// Attribution root (a top-level span path, `stage.*` in the
+    /// pipeline) → accumulated fan-out statistics.
+    pub(crate) parallel: BTreeMap<String, StageParallel>,
+}
+
+impl Registries {
+    /// Records one completed call of `path`, assigning the next
+    /// registry-wide `seq` on first insertion.
+    pub(crate) fn record_span(&mut self, path: &str, ns: u64) {
+        let next_seq = self.spans.len() as u64;
+        self.spans
+            .entry(path.to_string())
+            .or_insert(SpanStats {
+                count: 0,
+                total_ns: 0,
+                min_ns: u64::MAX,
+                max_ns: 0,
+                seq: next_seq,
+            })
+            .record(ns);
+    }
+}
+
+/// Parallel work attributed to one owning top-level span (`stage.*`
+/// in the pipeline): how much pool time a stage consumed and how it
+/// was shared across workers. The manifest renders this as the
+/// per-stage `parallel` section.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageParallel {
+    /// Pooled fan-outs dispatched while this span owned the caller.
+    pub fanouts: u64,
+    /// Fan-out requests that ran serially (below threshold, one
+    /// worker, or nested inside a pool chunk).
+    pub serial_calls: u64,
+    /// Items processed across fan-outs and serial calls.
+    pub items: u64,
+    /// Chunks executed across pooled fan-outs.
+    pub chunks: u64,
+    /// Nanoseconds workers spent inside chunk bodies, summed.
+    pub busy_ns: u64,
+    /// Nanoseconds workers spent idle while their fan-outs were in
+    /// flight (`wall − busy`, summed per chunk).
+    pub idle_ns: u64,
+    /// Busy nanoseconds by chunk slot (slot 0 is the calling thread,
+    /// slot `i` pool worker `i − 1`) — the per-worker share.
+    pub per_worker_busy_ns: Vec<u64>,
+}
+
+struct ScopeInner {
+    reg: Mutex<Registries>,
+    counters: [Mutex<BTreeMap<String, u64>>; COUNTER_SHARDS],
+}
+
+/// A handle to one isolated set of observability registries. Clones
+/// share the same storage; dropping the last handle drops the data.
+#[derive(Clone)]
+pub struct ObsScope {
+    inner: Arc<ScopeInner>,
+}
+
+/// The ambient observability state of one thread: which scope it
+/// records into, its live span stack, and the base path inherited
+/// across a pool boundary.
+struct ThreadCtx {
+    /// `None` means the process-default scope.
+    scope: Option<ObsScope>,
+    /// Live span paths opened on this thread, innermost last.
+    stack: Vec<String>,
+    /// Parent path for spans opened with an empty stack (set inside a
+    /// pool chunk so worker spans nest under the dispatching caller).
+    base: Option<String>,
+    /// Whether top-level spans on this thread may use the process-wide
+    /// allocator watermark. Only the default ambient context may: the
+    /// watermark cannot nest, so scoped captures and pool chunks skip
+    /// heap accounting instead of corrupting each other's peaks.
+    alloc_spans: bool,
+}
+
+impl ThreadCtx {
+    const fn ambient() -> Self {
+        ThreadCtx {
+            scope: None,
+            stack: Vec::new(),
+            base: None,
+            alloc_spans: true,
+        }
+    }
+}
+
+thread_local! {
+    static CTX: RefCell<ThreadCtx> = const { RefCell::new(ThreadCtx::ambient()) };
+    /// This thread's counter shard, hashed once from its ThreadId.
+    static SHARD: usize = {
+        let hash = RandomState::new().hash_one(std::thread::current().id());
+        (hash as usize) % COUNTER_SHARDS
+    };
+}
+
+static DEFAULT: OnceLock<ObsScope> = OnceLock::new();
+
+fn default_scope() -> &'static ObsScope {
+    DEFAULT.get_or_init(ObsScope::new)
+}
+
+/// The scope the calling thread currently records into.
+pub(crate) fn current_scope() -> ObsScope {
+    match CTX.with(|c| c.borrow().scope.clone()) {
+        Some(scope) => scope,
+        None => default_scope().clone(),
+    }
+}
+
+/// Runs `f` under the current scope's registry lock.
+pub(crate) fn with_reg<R>(f: impl FnOnce(&mut Registries) -> R) -> R {
+    let scope = current_scope();
+    let mut reg = scope.inner.reg.lock();
+    f(&mut reg)
+}
+
+/// Runs `f` on this thread's counter shard of the current scope.
+pub(crate) fn with_counter_shard<R>(f: impl FnOnce(&mut BTreeMap<String, u64>) -> R) -> R {
+    let scope = current_scope();
+    let shard = SHARD.with(|s| *s);
+    let mut counters = scope.inner.counters[shard].lock();
+    f(&mut counters)
+}
+
+/// The value of `name` summed across the current scope's shards.
+pub(crate) fn counter_total(name: &str) -> u64 {
+    let scope = current_scope();
+    scope
+        .inner
+        .counters
+        .iter()
+        .map(|shard| shard.lock().get(name).copied().unwrap_or(0))
+        .sum()
+}
+
+/// Counter name → value, merged across the current scope's shards.
+pub(crate) fn counters_merged() -> BTreeMap<String, u64> {
+    let scope = current_scope();
+    let mut merged: BTreeMap<String, u64> = BTreeMap::new();
+    for shard in &scope.inner.counters {
+        for (name, value) in shard.lock().iter() {
+            let slot = merged.entry(name.clone()).or_insert(0);
+            *slot = slot.saturating_add(*value);
+        }
+    }
+    merged
+}
+
+/// Clears every counter shard and the parallel attribution of the
+/// current scope (the metrics half of [`crate::reset`]).
+pub(crate) fn reset_metrics() {
+    let scope = current_scope();
+    for shard in &scope.inner.counters {
+        shard.lock().clear();
+    }
+    let mut reg = scope.inner.reg.lock();
+    reg.gauges.clear();
+    reg.histograms.clear();
+    reg.parallel.clear();
+}
+
+/// Clears the span and allocator registries of the current scope (the
+/// span half of [`crate::reset`]).
+pub(crate) fn reset_spans() {
+    let mut_scope = current_scope();
+    let mut reg = mut_scope.inner.reg.lock();
+    reg.spans.clear();
+    reg.span_allocs.clear();
+}
+
+/// Pushed-span bookkeeping returned by [`push_span`].
+pub(crate) struct PushedSpan {
+    /// The full path the span records under.
+    pub(crate) path: String,
+    /// Whether the span may carry allocator accounting (top of the
+    /// default ambient context only; see [`ThreadCtx::alloc_spans`]).
+    pub(crate) alloc_top: bool,
+}
+
+/// Computes the path of a span named `name` (nesting under the
+/// innermost live span, else the inherited base path) and pushes it
+/// onto this thread's stack.
+pub(crate) fn push_span(name: &str) -> PushedSpan {
+    CTX.with(|c| {
+        let mut c = c.borrow_mut();
+        let (path, top) = match c.stack.last() {
+            Some(parent) => (format!("{parent}/{name}"), false),
+            None => match &c.base {
+                Some(base) => (format!("{base}/{name}"), false),
+                None => (name.to_string(), true),
+            },
+        };
+        c.stack.push(path.clone());
+        PushedSpan {
+            path,
+            alloc_top: top && c.alloc_spans,
+        }
+    })
+}
+
+/// Pops the innermost live span of this thread.
+pub(crate) fn pop_span() {
+    CTX.with(|c| {
+        c.borrow_mut().stack.pop();
+    });
+}
+
+/// Restores the saved thread context when a scope or pool-boundary
+/// context is exited.
+#[must_use = "the scope is only current until this guard drops"]
+pub struct ScopeGuard {
+    prev: Option<ThreadCtx>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            CTX.with(|c| {
+                *c.borrow_mut() = prev;
+            });
+        }
+    }
+}
+
+impl ObsScope {
+    /// Creates a scope with empty registries.
+    pub fn new() -> ObsScope {
+        ObsScope {
+            inner: Arc::new(ScopeInner {
+                reg: Mutex::new(Registries::default()),
+                counters: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
+            }),
+        }
+    }
+
+    /// Makes this scope current on the calling thread until the guard
+    /// drops, swapping in a fresh span stack (the scope's own). Must
+    /// be dropped on the thread that created it, before any span
+    /// guard opened inside it.
+    pub fn enter(&self) -> ScopeGuard {
+        let fresh = ThreadCtx {
+            scope: Some(self.clone()),
+            stack: Vec::new(),
+            base: None,
+            alloc_spans: false,
+        };
+        let prev = CTX.with(|c| std::mem::replace(&mut *c.borrow_mut(), fresh));
+        ScopeGuard { prev: Some(prev) }
+    }
+
+    /// Runs `f` inside a fresh scope and returns its result together
+    /// with a [`Capture`] of everything it recorded — spans, metrics,
+    /// and parallel attribution, isolated from every other scope.
+    /// The capture is empty when observability is disabled.
+    pub fn capture<R>(f: impl FnOnce() -> R) -> (R, Capture) {
+        let scope = ObsScope::new();
+        let out = {
+            let _guard = scope.enter();
+            f()
+        };
+        (out, scope.snapshot())
+    }
+
+    /// A point-in-time copy of everything recorded into this scope.
+    pub fn snapshot(&self) -> Capture {
+        let reg = self.inner.reg.lock();
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        for shard in &self.inner.counters {
+            for (name, value) in shard.lock().iter() {
+                let slot = counters.entry(name.clone()).or_insert(0);
+                *slot = slot.saturating_add(*value);
+            }
+        }
+        Capture {
+            spans: reg.spans.clone(),
+            allocs: reg.span_allocs.clone(),
+            metrics: MetricsSnapshot {
+                counters,
+                gauges: reg.gauges.clone(),
+                histograms: reg.histograms.clone(),
+            },
+            parallel: reg.parallel.clone(),
+        }
+    }
+}
+
+impl Default for ObsScope {
+    fn default() -> Self {
+        ObsScope::new()
+    }
+}
+
+/// The observability context a fan-out caller hands to its chunks:
+/// the scope to record into plus the parent span path chunks nest
+/// under. Inert (and free) when observability is disabled.
+pub struct ObsContext {
+    inner: Option<CtxInner>,
+}
+
+struct CtxInner {
+    scope: ObsScope,
+    parent: Option<String>,
+}
+
+impl ObsContext {
+    /// Captures the calling thread's scope and innermost span path.
+    pub fn current() -> ObsContext {
+        if !crate::enabled() {
+            return ObsContext { inner: None };
+        }
+        let inner = CTX.with(|c| {
+            let c = c.borrow();
+            CtxInner {
+                scope: match &c.scope {
+                    Some(scope) => scope.clone(),
+                    None => default_scope().clone(),
+                },
+                parent: c.stack.last().cloned().or_else(|| c.base.clone()),
+            }
+        });
+        ObsContext { inner: Some(inner) }
+    }
+
+    /// The span path chunk work should nest under, if any.
+    pub fn parent(&self) -> Option<&str> {
+        self.inner.as_ref().and_then(|i| i.parent.as_deref())
+    }
+
+    /// Installs the context on the executing thread for the duration
+    /// of the returned guard: the captured scope becomes current and
+    /// the captured parent path becomes the base for any spans the
+    /// chunk body opens. A no-op guard when the context is inert.
+    pub fn enter(&self) -> ScopeGuard {
+        let Some(inner) = &self.inner else {
+            return ScopeGuard { prev: None };
+        };
+        let fresh = ThreadCtx {
+            scope: Some(inner.scope.clone()),
+            stack: Vec::new(),
+            base: inner.parent.clone(),
+            alloc_spans: false,
+        };
+        let prev = CTX.with(|c| std::mem::replace(&mut *c.borrow_mut(), fresh));
+        ScopeGuard { prev: Some(prev) }
+    }
+}
+
+/// The attribution root of the calling thread: its outermost live
+/// span path, else the first segment of its inherited base path.
+fn attribution_root() -> Option<String> {
+    CTX.with(|c| {
+        let c = c.borrow();
+        c.stack.first().cloned().or_else(|| {
+            c.base
+                .as_ref()
+                .and_then(|b| b.split('/').next())
+                .map(str::to_string)
+        })
+    })
+}
+
+/// The innermost live span path (or inherited base) of the caller.
+fn attribution_parent() -> Option<String> {
+    CTX.with(|c| {
+        let c = c.borrow();
+        c.stack.last().cloned().or_else(|| c.base.clone())
+    })
+}
+
+/// Records one pooled fan-out against the caller's owning top-level
+/// span: chunk spans named `primitive` nest under the caller's
+/// innermost path, and busy/idle/chunk totals accumulate in the
+/// scope's [`StageParallel`] slot. `busy_ns[i]` is chunk `i`'s body
+/// time; `wall_ns` the fan-out's caller-observed wall time. Called by
+/// `leo-parallel` once per fan-out, on the caller, after the join.
+pub fn attribute_fanout(primitive: &str, items: u64, busy_ns: &[u64], wall_ns: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let parent = attribution_parent();
+    let root = attribution_root();
+    let chunk_path = match &parent {
+        Some(p) => format!("{p}/{primitive}"),
+        None => primitive.to_string(),
+    };
+    with_reg(|reg| {
+        for &ns in busy_ns {
+            reg.record_span(&chunk_path, ns);
+        }
+        if let Some(root) = root {
+            let attr = reg.parallel.entry(root).or_default();
+            attr.fanouts += 1;
+            attr.items = attr.items.saturating_add(items);
+            attr.chunks += busy_ns.len() as u64;
+            if attr.per_worker_busy_ns.len() < busy_ns.len() {
+                attr.per_worker_busy_ns.resize(busy_ns.len(), 0);
+            }
+            for (slot, &ns) in busy_ns.iter().enumerate() {
+                attr.busy_ns = attr.busy_ns.saturating_add(ns);
+                attr.idle_ns = attr.idle_ns.saturating_add(wall_ns.saturating_sub(ns));
+                attr.per_worker_busy_ns[slot] = attr.per_worker_busy_ns[slot].saturating_add(ns);
+            }
+        }
+    });
+}
+
+/// Records one serial fan-out request against the caller's owning
+/// top-level span. Called by `leo-parallel` alongside its
+/// `parallel.serial_calls` counter.
+pub fn attribute_serial(items: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let Some(root) = attribution_root() else {
+        return;
+    };
+    with_reg(|reg| {
+        let attr = reg.parallel.entry(root).or_default();
+        attr.serial_calls += 1;
+        attr.items = attr.items.saturating_add(items);
+    });
+}
+
+/// Attribution root → parallel stats of the current scope.
+pub fn parallel_snapshot() -> BTreeMap<String, StageParallel> {
+    with_reg(|reg| reg.parallel.clone())
+}
+
+/// Everything one scope recorded, frozen at snapshot time.
+#[derive(Debug, Clone, Default)]
+pub struct Capture {
+    /// Span path → timing stats.
+    pub spans: BTreeMap<String, SpanStats>,
+    /// Top-level span path → allocator stats.
+    pub allocs: BTreeMap<String, SpanAllocStats>,
+    /// Counters (merged across shards), gauges, histograms.
+    pub metrics: MetricsSnapshot,
+    /// Attribution root → parallel stats.
+    pub parallel: BTreeMap<String, StageParallel>,
+}
+
+impl Capture {
+    /// The full manifest fragment of this capture: span tree, metrics
+    /// and parallel attribution, timings included.
+    pub fn fragment(&self) -> crate::json::Json {
+        crate::manifest::capture_fragment(self)
+    }
+
+    /// The deterministic projection of this capture: what ran and
+    /// what it counted, with everything scheduling-dependent removed —
+    /// span timings, the `parallel.*` metric family, chunk spans, and
+    /// allocator stats. Two runs of the same work are byte-identical
+    /// here regardless of thread count or concurrent scopes; this is
+    /// the serve-readiness contract (DESIGN.md §15).
+    pub fn stable_fragment(&self) -> crate::json::Json {
+        crate::manifest::capture_stable_fragment(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_isolate_counters_and_spans() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(true);
+        let a = ObsScope::new();
+        let b = ObsScope::new();
+        {
+            let _g = a.enter();
+            crate::metrics::counter_add("t_scope.hits", 2);
+            let _s = crate::span::enter("t_scope.a");
+        }
+        {
+            let _g = b.enter();
+            crate::metrics::counter_add("t_scope.hits", 5);
+        }
+        let cap_a = a.snapshot();
+        let cap_b = b.snapshot();
+        assert_eq!(cap_a.metrics.counters["t_scope.hits"], 2);
+        assert_eq!(cap_b.metrics.counters["t_scope.hits"], 5);
+        assert!(cap_a.spans.contains_key("t_scope.a"));
+        assert!(cap_b.spans.is_empty());
+        // Nothing leaked into the default scope.
+        assert_eq!(crate::metrics::counter_value("t_scope.hits"), 0);
+    }
+
+    #[test]
+    fn capture_returns_result_and_isolated_snapshot() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(true);
+        let (out, cap) = ObsScope::capture(|| {
+            let _s = crate::span::enter("t_cap.stage");
+            crate::metrics::counter_add("t_cap.n", 7);
+            41 + 1
+        });
+        assert_eq!(out, 42);
+        assert_eq!(cap.metrics.counters["t_cap.n"], 7);
+        assert_eq!(cap.spans["t_cap.stage"].count, 1);
+        assert_eq!(crate::metrics::counter_value("t_cap.n"), 0);
+    }
+
+    #[test]
+    fn entering_a_scope_restores_the_previous_context() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(true);
+        let outer = crate::span::enter("t_restore.outer");
+        {
+            let scope = ObsScope::new();
+            let _g = scope.enter();
+            // Inside the scope the stack is fresh: a new span is
+            // top-level from the scope's point of view.
+            let _s = crate::span::enter("t_restore.inner");
+        }
+        // Back outside, nesting resumes under the still-open span.
+        {
+            let _s = crate::span::enter("child");
+        }
+        drop(outer);
+        let spans = crate::span::snapshot();
+        assert!(spans.contains_key("t_restore.outer/child"));
+        assert!(!spans.contains_key("t_restore.inner"));
+    }
+
+    #[test]
+    fn sharded_counters_sum_exactly_across_threads() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(true);
+        let scope = ObsScope::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let _g = scope.enter();
+                    for _ in 0..1000 {
+                        crate::metrics::counter_add("t_shard.n", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(scope.snapshot().metrics.counters["t_shard.n"], 8000);
+    }
+
+    #[test]
+    fn context_propagates_scope_and_parent_across_threads() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(true);
+        let scope = ObsScope::new();
+        let ctx = {
+            let _g = scope.enter();
+            let _stage = crate::span::enter("stage.t_ctx");
+            let _inner = crate::span::enter("sweep");
+            ObsContext::current()
+        };
+        assert_eq!(ctx.parent(), Some("stage.t_ctx/sweep"));
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _g = ctx.enter();
+                let _chunk = crate::span::enter("chunk");
+                crate::metrics::counter_add("t_ctx.worker", 1);
+            });
+        });
+        let cap = scope.snapshot();
+        assert!(
+            cap.spans.contains_key("stage.t_ctx/sweep/chunk"),
+            "worker span nests under the caller's path: {:?}",
+            cap.spans.keys().collect::<Vec<_>>()
+        );
+        assert_eq!(cap.metrics.counters["t_ctx.worker"], 1);
+    }
+
+    #[test]
+    fn fanout_attribution_lands_under_the_owning_root() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(true);
+        let scope = ObsScope::new();
+        {
+            let _g = scope.enter();
+            let _stage = crate::span::enter("stage.t_attr");
+            attribute_fanout("parallel.par_map", 100, &[40, 60], 70);
+            attribute_serial(5);
+        }
+        let cap = scope.snapshot();
+        let attr = &cap.parallel["stage.t_attr"];
+        assert_eq!(attr.fanouts, 1);
+        assert_eq!(attr.serial_calls, 1);
+        assert_eq!(attr.items, 105);
+        assert_eq!(attr.chunks, 2);
+        assert_eq!(attr.busy_ns, 100);
+        assert_eq!(attr.idle_ns, (70 - 40) + (70 - 60));
+        assert_eq!(attr.per_worker_busy_ns, vec![40, 60]);
+        let chunk = &cap.spans["stage.t_attr/parallel.par_map"];
+        assert_eq!(chunk.count, 2);
+        assert_eq!(chunk.total_ns, 100);
+    }
+
+    #[test]
+    fn disabled_context_is_inert() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(false);
+        let ctx = ObsContext::current();
+        assert!(ctx.parent().is_none());
+        {
+            let _g = ctx.enter();
+            crate::metrics::counter_add("t_inert.n", 1);
+        }
+        let (_, cap) = ObsScope::capture(|| {
+            crate::metrics::counter_add("t_inert.m", 1);
+        });
+        crate::set_enabled(true);
+        assert!(cap.metrics.counters.is_empty());
+        assert_eq!(crate::metrics::counter_value("t_inert.n"), 0);
+    }
+}

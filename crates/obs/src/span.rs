@@ -2,22 +2,25 @@
 //!
 //! [`enter`] (or the [`crate::span!`] macro) opens a span and returns a
 //! RAII guard; dropping the guard records the elapsed wall-clock time
-//! into a global registry keyed by the span's *path*. Spans nest per
-//! thread — a span opened while another is live on the same thread gets
-//! the path `parent/child` — so the registry reconstructs the call tree
-//! of a run without any wiring through function signatures.
+//! into the current [`crate::scope::ObsScope`]'s registry keyed by the
+//! span's *path*. Spans nest per thread — a span opened while another
+//! is live on the same thread gets the path `parent/child` — so the
+//! registry reconstructs the call tree of a run without any wiring
+//! through function signatures.
 //!
-//! Worker threads spawned by `leo-parallel` start with an empty stack:
-//! their measurements surface through the metrics registry (per-worker
-//! busy/idle time) rather than as span children, keeping span paths
-//! deterministic regardless of scheduling.
+//! Pool worker threads start with an empty stack, but a chunk that
+//! runs under an entered [`crate::scope::ObsContext`] inherits the
+//! dispatching caller's innermost path as its *base*: spans it opens
+//! nest under the owning `stage.*` span instead of becoming orphan
+//! roots. Threads outside any scope record into the process-default
+//! scope, which preserves the historical global-registry behaviour.
 //!
 //! Everything is a no-op while [`crate::enabled`] is false; the spans
 //! only ever feed the run manifest, never the computation (the
 //! determinism contract in the crate docs).
 
+use crate::scope;
 use parking_lot::Mutex;
-use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
@@ -76,17 +79,13 @@ pub struct SpanStats {
 }
 
 impl SpanStats {
-    fn record(&mut self, ns: u64) {
+    pub(crate) fn record(&mut self, ns: u64) {
         self.count += 1;
         self.total_ns = self.total_ns.saturating_add(ns);
         self.min_ns = self.min_ns.min(ns);
         self.max_ns = self.max_ns.max(ns);
     }
 }
-
-/// Span registry: full path (`a/b/c`) → stats. BTreeMap so snapshots
-/// iterate in a stable order.
-static REGISTRY: Mutex<BTreeMap<String, SpanStats>> = Mutex::new(BTreeMap::new());
 
 /// Accumulated allocator statistics of one **top-level** span path.
 ///
@@ -107,19 +106,11 @@ pub struct SpanAllocStats {
     pub peak_heap_delta: u64,
 }
 
-/// Allocator registry: top-level span path → accumulated heap stats.
-static ALLOC_REGISTRY: Mutex<BTreeMap<String, SpanAllocStats>> = Mutex::new(BTreeMap::new());
-
 /// Allocator counters captured when a top-level span opened.
 struct AllocBegin {
     alloc_calls: u64,
     allocated_bytes: u64,
     current_bytes: u64,
-}
-
-thread_local! {
-    /// The live span paths of this thread, innermost last.
-    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
 }
 
 /// The RAII guard of a live span; records on drop. Inert (and free)
@@ -141,18 +132,12 @@ pub fn enter(name: &str) -> SpanGuard {
             alloc_begin: None,
         };
     }
-    let (path, is_top) = STACK.with(|stack| {
-        let mut stack = stack.borrow_mut();
-        let (path, is_top) = match stack.last() {
-            Some(parent) => (format!("{parent}/{name}"), false),
-            None => (name.to_string(), true),
-        };
-        stack.push(path.clone());
-        (path, is_top)
-    });
-    // Only top-level spans carry heap accounting: the allocator keeps
-    // a single rebasable high-water mark (see SpanAllocStats docs).
-    let alloc_begin = if is_top {
+    let pushed = scope::push_span(name);
+    // Only top-level spans of the default ambient context carry heap
+    // accounting: the allocator keeps a single rebasable high-water
+    // mark (see SpanAllocStats docs), which cannot be shared between
+    // concurrent scopes or pool chunks.
+    let alloc_begin = if pushed.alloc_top {
         crate::resource::alloc_hook().map(|hook| {
             let reading = (hook.read)();
             (hook.rebase_span_peak)();
@@ -167,11 +152,11 @@ pub fn enter(name: &str) -> SpanGuard {
     };
     // Progress printing is stderr I/O; do it before taking the start
     // timestamp so it never inflates the span's own measurement.
-    crate::progress::on_span_begin(&path);
+    crate::progress::on_span_begin(&pushed.path);
     let start = Instant::now();
     notify_sink(SpanPhase::Begin, name, start);
     SpanGuard {
-        path: Some(path),
+        path: Some(pushed.path),
         start,
         alloc_begin,
     }
@@ -184,59 +169,54 @@ impl Drop for SpanGuard {
             let ns = end.saturating_duration_since(self.start).as_nanos() as u64;
             let leaf = path.rsplit('/').next().unwrap_or(&path);
             notify_sink(SpanPhase::End, leaf, end);
-            STACK.with(|stack| {
-                stack.borrow_mut().pop();
+            scope::pop_span();
+            // Read the allocator outside the registry lock, then fold
+            // timing and heap stats in under a single lock hold (the
+            // old separate REGISTRY/ALLOC_REGISTRY locks cost two
+            // contended acquisitions per span exit).
+            let alloc = match (self.alloc_begin.take(), crate::resource::alloc_hook()) {
+                (Some(begin), Some(hook)) => {
+                    let reading = (hook.read)();
+                    let span_peak = (hook.span_peak)();
+                    Some((
+                        reading
+                            .allocated_bytes
+                            .saturating_sub(begin.allocated_bytes),
+                        reading.alloc_calls.saturating_sub(begin.alloc_calls),
+                        span_peak.saturating_sub(begin.current_bytes),
+                    ))
+                }
+                _ => None,
+            };
+            scope::with_reg(|reg| {
+                if let Some((bytes, calls, peak_delta)) = alloc {
+                    let stats = reg.span_allocs.entry(path.clone()).or_default();
+                    stats.alloc_bytes = stats.alloc_bytes.saturating_add(bytes);
+                    stats.alloc_count = stats.alloc_count.saturating_add(calls);
+                    stats.peak_heap_delta = stats.peak_heap_delta.max(peak_delta);
+                }
+                reg.record_span(&path, ns);
             });
-            if let (Some(begin), Some(hook)) =
-                (self.alloc_begin.take(), crate::resource::alloc_hook())
-            {
-                let reading = (hook.read)();
-                let span_peak = (hook.span_peak)();
-                let mut alloc_registry = ALLOC_REGISTRY.lock();
-                let stats = alloc_registry.entry(path.clone()).or_default();
-                stats.alloc_bytes = stats.alloc_bytes.saturating_add(
-                    reading
-                        .allocated_bytes
-                        .saturating_sub(begin.allocated_bytes),
-                );
-                stats.alloc_count = stats
-                    .alloc_count
-                    .saturating_add(reading.alloc_calls.saturating_sub(begin.alloc_calls));
-                stats.peak_heap_delta = stats
-                    .peak_heap_delta
-                    .max(span_peak.saturating_sub(begin.current_bytes));
-            }
-            let mut registry = REGISTRY.lock();
-            let next_seq = registry.len() as u64;
-            registry
-                .entry(path)
-                .or_insert(SpanStats {
-                    count: 0,
-                    total_ns: 0,
-                    min_ns: u64::MAX,
-                    max_ns: 0,
-                    seq: next_seq,
-                })
-                .record(ns);
         }
     }
 }
 
-/// A copy of the whole registry: span path → stats.
+/// A copy of the current scope's span registry: path → stats.
 pub fn snapshot() -> BTreeMap<String, SpanStats> {
-    REGISTRY.lock().clone()
+    scope::with_reg(|reg| reg.spans.clone())
 }
 
-/// A copy of the allocator registry: top-level span path → heap stats.
-/// Empty unless an [`crate::resource::AllocHook`] was installed.
+/// A copy of the current scope's allocator registry: top-level span
+/// path → heap stats. Empty unless an
+/// [`crate::resource::AllocHook`] was installed.
 pub fn alloc_snapshot() -> BTreeMap<String, SpanAllocStats> {
-    ALLOC_REGISTRY.lock().clone()
+    scope::with_reg(|reg| reg.span_allocs.clone())
 }
 
-/// Clears the registries (live guards still record when they drop).
+/// Clears the current scope's span registries (live guards still
+/// record when they drop).
 pub fn reset() {
-    REGISTRY.lock().clear();
-    ALLOC_REGISTRY.lock().clear();
+    scope::reset_spans();
 }
 
 #[cfg(test)]

@@ -67,13 +67,24 @@
 //! off. Serial executions (one worker, single-item input, or
 //! sub-threshold work) count under `parallel.serial_calls` only, so
 //! manifests never overstate real parallelism with synthetic chunks.
-//! When the `leo-trace` timeline recorder is on, each completed chunk
-//! additionally lands as one complete event on its worker-index lane
-//! (chunk index, item range, busy duration), so `--trace` shows the
-//! fan-out shape per worker. Metrics and trace events feed the run
-//! manifest and trace export only; they can never perturb results (the
-//! determinism contract holds with observability and tracing on or
-//! off).
+//!
+//! Fan-outs also carry the caller's *observability context* across
+//! the pool boundary (`leo_obs::scope::ObsContext`, DESIGN.md §15):
+//! the dispatching thread's current scope and innermost span path are
+//! captured before the fan-out and installed on each chunk's
+//! executing thread, so anything a chunk body records — spans,
+//! counters, histograms — lands in the owning scope, nested under the
+//! dispatching span. After the join the fan-out is attributed to the
+//! caller's owning top-level span (`stage.*` in the pipeline) via
+//! `attribute_fanout`, which the manifest renders as the per-stage
+//! `parallel` section. When the `leo-trace` timeline recorder is on,
+//! each completed chunk additionally lands as one complete event on
+//! its worker-index lane (chunk index, item range, busy duration,
+//! owning span path), so `--trace` shows the fan-out shape per worker
+//! and folded stacks telescope worker time under the owning stage.
+//! Metrics and trace events feed the run manifest and trace export
+//! only; they can never perturb results (the determinism contract
+//! holds with observability and tracing on or off).
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -87,13 +98,16 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Records one pooled fan-out's worker stats into the `leo-obs`
-/// metrics registry (`parallel.*` namespace, DESIGN.md §8). Called
-/// once per primitive invocation — never per item — so the
-/// instrumentation cost stays off the hot path. Callers must check
-/// [`leo_obs::enabled`] first.
-fn record_fanout(calls_counter: &str, items: usize, busy_ns: &[u64], wall_ns: u64) {
+/// metrics registry (`parallel.*` namespace, DESIGN.md §8) and
+/// attributes the fan-out to the caller's owning `stage.*` span via
+/// `leo_obs::scope::attribute_fanout`. `primitive` is the chunk-span
+/// name (`parallel.par_map` / `parallel.par_sum`); its calls counter
+/// is `{primitive}_calls`. Called once per primitive invocation —
+/// never per item — so the instrumentation cost stays off the hot
+/// path. Callers must check [`leo_obs::enabled`] first.
+fn record_fanout(primitive: &str, items: usize, busy_ns: &[u64], wall_ns: u64) {
     use leo_obs::metrics;
-    metrics::counter_add(calls_counter, 1);
+    metrics::counter_add(&format!("{primitive}_calls"), 1);
     metrics::counter_add("parallel.items", items as u64);
     metrics::counter_add("parallel.chunks", busy_ns.len() as u64);
     for &busy in busy_ns {
@@ -106,6 +120,7 @@ fn record_fanout(calls_counter: &str, items: usize, busy_ns: &[u64], wall_ns: u6
             wall_ns.saturating_sub(busy),
         );
     }
+    leo_obs::scope::attribute_fanout(primitive, items as u64, busy_ns, wall_ns);
 }
 
 /// Records one serial primitive execution: the thread count resolved
@@ -117,6 +132,7 @@ fn record_serial(items: usize) {
     if leo_obs::enabled() {
         leo_obs::metrics::counter_add("parallel.serial_calls", 1);
         leo_obs::metrics::counter_add("parallel.items", items as u64);
+        leo_obs::scope::attribute_serial(items as u64);
     }
 }
 
@@ -336,6 +352,11 @@ where
     let base = prefix.len();
     let obs = leo_obs::enabled();
     let tracing = leo_trace::enabled();
+    // Capture the caller's scope and innermost span path so chunk
+    // bodies (and their trace events) attribute under the owning
+    // `stage.*` span on whichever thread they execute; inert and free
+    // when observability is off.
+    let ctx = leo_obs::scope::ObsContext::current();
     let t0 = Instant::now();
     let plan: Vec<(usize, usize)> = chunks(items.len() - base, workers)
         .into_iter()
@@ -343,6 +364,7 @@ where
         .collect();
     let slots: Vec<ChunkSlot<Vec<R>>> = plan.iter().map(|_| Mutex::new(None)).collect();
     pool::run_chunks(plan.len(), &|w| {
+        let _obs_ctx = ctx.enter();
         let (lo, hi) = plan[w];
         let w0 = Instant::now();
         let out: Vec<R> = items[lo..hi]
@@ -352,7 +374,7 @@ where
             .collect();
         let w1 = Instant::now();
         if tracing {
-            leo_trace::worker_chunk(w, "parallel.par_map", w0, w1, lo, hi);
+            leo_trace::worker_chunk(w, "parallel.par_map", ctx.parent(), w0, w1, lo, hi);
         }
         *slots[w].lock() = Some((out, w1.saturating_duration_since(w0).as_nanos() as u64));
     });
@@ -366,7 +388,7 @@ where
     }
     if obs {
         record_fanout(
-            "parallel.par_map_calls",
+            "parallel.par_map",
             items.len() - base,
             &busy,
             t0.elapsed().as_nanos() as u64,
@@ -425,6 +447,8 @@ where
     }
     let obs = leo_obs::enabled();
     let tracing = leo_trace::enabled();
+    // Same scope/parent propagation as `par_map`.
+    let ctx = leo_obs::scope::ObsContext::current();
     let t0 = Instant::now();
     let plan: Vec<(usize, usize)> = chunks(len - base, workers)
         .into_iter()
@@ -432,12 +456,13 @@ where
         .collect();
     let slots: Vec<ChunkSlot<u64>> = plan.iter().map(|_| Mutex::new(None)).collect();
     pool::run_chunks(plan.len(), &|w| {
+        let _obs_ctx = ctx.enter();
         let (lo, hi) = plan[w];
         let w0 = Instant::now();
         let sum = (lo..hi).map(&f).sum::<u64>();
         let w1 = Instant::now();
         if tracing {
-            leo_trace::worker_chunk(w, "parallel.par_sum", w0, w1, lo, hi);
+            leo_trace::worker_chunk(w, "parallel.par_sum", ctx.parent(), w0, w1, lo, hi);
         }
         *slots[w].lock() = Some((sum, w1.saturating_duration_since(w0).as_nanos() as u64));
     });
@@ -450,7 +475,7 @@ where
     }
     if obs {
         record_fanout(
-            "parallel.par_sum_calls",
+            "parallel.par_sum",
             len - base,
             &busy,
             t0.elapsed().as_nanos() as u64,

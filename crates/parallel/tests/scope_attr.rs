@@ -1,0 +1,127 @@
+//! Scoped-observability integration tests across the pool boundary
+//! (DESIGN.md §15): concurrent per-request captures stay isolated and
+//! deterministic, worker attribution is thread-count-invariant, and
+//! `DIVIDE_OBS=off` stays zero-cost through the pool.
+
+use leo_obs::scope::{Capture, ObsScope};
+use leo_parallel::{mix64, par_map, with_serial_threshold, with_threads};
+
+/// Serializes tests in this binary: they flip the process-wide
+/// observability flag and share the worker pool's default scope.
+fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One small observed pipeline: a stage span, a tagged counter, a
+/// histogram sample, and a 257-item fan-out through the shared pool.
+/// Returns the (deterministic) fold of the mapped values plus the
+/// scope's capture.
+fn pipeline(tag: &str, threads: usize) -> (u64, Capture) {
+    ObsScope::capture(|| {
+        let _stage = leo_obs::span!("stage.sim");
+        leo_obs::metrics::counter_add(&format!("{tag}.runs"), 1);
+        leo_obs::metrics::observe("sim.value", 2.5);
+        let items: Vec<u64> = (0..257).collect();
+        let out = with_serial_threshold(0, || {
+            with_threads(threads, || par_map(&items, |i, &x| mix64(x, i as u64)))
+        });
+        out.iter().fold(0u64, |acc, &v| acc ^ v)
+    })
+}
+
+#[test]
+fn concurrent_captures_are_isolated_and_match_serial() {
+    let _lock = test_lock();
+    leo_obs::set_enabled(true);
+    // Serial references, one per request tag.
+    let (ref_a, cap_a1) = pipeline("t_a", 1);
+    let (ref_b, cap_b1) = pipeline("t_b", 1);
+    let stable_a = cap_a1.stable_fragment().render();
+    let stable_b = cap_b1.stable_fragment().render();
+    // Two requests race through the shared pool at 4 threads each.
+    let (got_a, got_b) = std::thread::scope(|s| {
+        let a = s.spawn(|| pipeline("t_a", 4));
+        let b = s.spawn(|| pipeline("t_b", 4));
+        (a.join().expect("a"), b.join().expect("b"))
+    });
+    assert_eq!(got_a.0, ref_a, "parallel result matches serial");
+    assert_eq!(got_b.0, ref_b);
+    // The stable projection is byte-identical to the serial run's.
+    assert_eq!(got_a.1.stable_fragment().render(), stable_a);
+    assert_eq!(got_b.1.stable_fragment().render(), stable_b);
+    // No bleed: each capture carries its own tag only.
+    assert_eq!(got_a.1.metrics.counters.get("t_a.runs"), Some(&1));
+    assert_eq!(got_a.1.metrics.counters.get("t_b.runs"), None);
+    assert_eq!(got_b.1.metrics.counters.get("t_b.runs"), Some(&1));
+    assert_eq!(got_b.1.metrics.counters.get("t_a.runs"), None);
+    // Nothing leaked into the process-default scope either.
+    assert_eq!(leo_obs::metrics::counter_value("t_a.runs"), 0);
+    assert_eq!(leo_obs::metrics::counter_value("t_b.runs"), 0);
+}
+
+#[test]
+fn stable_capture_is_bit_identical_across_thread_counts() {
+    let _lock = test_lock();
+    leo_obs::set_enabled(true);
+    let (ref_out, ref_cap) = pipeline("t_n", 1);
+    let reference = ref_cap.stable_fragment().render();
+    assert!(reference.contains("t_n.runs"), "{reference}");
+    for threads in [4usize, 8] {
+        let (out, cap) = pipeline("t_n", threads);
+        assert_eq!(out, ref_out, "threads={threads}");
+        assert_eq!(
+            cap.stable_fragment().render(),
+            reference,
+            "stable capture must not depend on thread count (threads={threads})"
+        );
+    }
+}
+
+#[test]
+fn fanout_attribution_reconciles_with_pool_counters() {
+    let _lock = test_lock();
+    leo_obs::set_enabled(true);
+    let (_, cap) = pipeline("t_rec", 4);
+    let attr = cap
+        .parallel
+        .get("stage.sim")
+        .expect("fan-out attributed to the owning stage");
+    assert!(attr.fanouts >= 1);
+    assert!(attr.chunks >= 4, "257 items over 4 workers");
+    // Chunk spans nest under the dispatching span, one count per chunk.
+    let chunk = cap
+        .spans
+        .get("stage.sim/parallel.par_map")
+        .expect("chunk spans recorded under the stage");
+    assert_eq!(chunk.count, attr.chunks);
+    assert_eq!(chunk.total_ns, attr.busy_ns);
+    // Per-stage busy time reconciles exactly with the pool counter:
+    // both sides accumulate the same per-chunk busy values.
+    let busy_total: u64 = cap.parallel.values().map(|a| a.busy_ns).sum();
+    assert_eq!(
+        cap.metrics
+            .counters
+            .get("parallel.worker_busy_ns_total")
+            .copied()
+            .unwrap_or(0),
+        busy_total
+    );
+    let per_worker: u64 = attr.per_worker_busy_ns.iter().sum();
+    assert_eq!(per_worker, attr.busy_ns, "worker shares sum to the total");
+}
+
+#[test]
+fn disabled_observability_is_inert_through_the_pool() {
+    let _lock = test_lock();
+    leo_obs::set_enabled(true);
+    let (reference, _) = pipeline("t_off", 4);
+    leo_obs::set_enabled(false);
+    let (out, cap) = pipeline("t_off", 4);
+    leo_obs::set_enabled(true);
+    assert_eq!(out, reference, "results identical with observability off");
+    assert!(cap.spans.is_empty(), "{:?}", cap.spans.keys());
+    assert!(cap.metrics.counters.is_empty());
+    assert!(cap.metrics.histograms.is_empty());
+    assert!(cap.parallel.is_empty());
+}

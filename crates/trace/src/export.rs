@@ -22,7 +22,10 @@
 //! *exclusive* (self time); because exclusive segments telescope, the
 //! sum over a stage's subtree equals the span registry's inclusive
 //! `total_ns` for that stage exactly — `scripts/tier1.sh` cross-checks
-//! the two against the run manifest.
+//! the two against the run manifest (main lane only: worker-lane
+//! chunks carry their owning `stage.*` span path as intermediate
+//! frames, so worker busy time telescopes under the dispatching stage
+//! in a flamegraph rather than floating as lane-level orphans).
 
 use crate::{Event, EventKind};
 use leo_obs::json::Json;
@@ -49,10 +52,13 @@ fn event_json(tid: usize, ev: &Event) -> Json {
             .set("dur", ts_us(dur_ns)),
         EventKind::Counter => e.set("ph", "C").set("ts", ts_us(ev.ts_ns)),
     };
-    if !ev.args.is_empty() {
+    if !ev.args.is_empty() || ev.parent.is_some() {
         let mut args = Json::obj();
         for &(k, v) in &ev.args {
             args = args.set(k, v);
+        }
+        if let Some(parent) = &ev.parent {
+            args = args.set("parent", parent.as_str());
         }
         e = e.set("args", args);
     }
@@ -119,9 +125,17 @@ pub fn folded_stacks() -> String {
                     since = ev.ts_ns;
                 }
                 EventKind::Complete { dur_ns } => {
-                    *totals
-                        .entry(format!("{};{}", lane.label, ev.name))
-                        .or_default() += dur_ns;
+                    // A chunk dispatched from inside a span carries
+                    // that span's path: render its frames between the
+                    // lane and the chunk name so worker time
+                    // telescopes under the owning `stage.*` subtree.
+                    let key = match &ev.parent {
+                        Some(parent) => {
+                            format!("{};{};{}", lane.label, parent.replace('/', ";"), ev.name)
+                        }
+                        None => format!("{};{}", lane.label, ev.name),
+                    };
+                    *totals.entry(key).or_default() += dur_ns;
                 }
                 // Counter samples carry values, not durations; they
                 // have no place on a flamegraph.
@@ -161,7 +175,8 @@ mod tests {
     }
 
     /// Builds a small deterministic trace: outer(0..100µs) containing
-    /// inner(20..60µs), one instant, one worker chunk of 30µs.
+    /// inner(20..60µs), one instant, an unparented worker chunk of
+    /// 30µs plus a 20µs chunk owned by `outer`.
     fn record_fixture() -> Instant {
         leo_obs::set_enabled(true);
         crate::set_enabled(true);
@@ -173,7 +188,16 @@ mod tests {
         crate::end("inner", at(60));
         crate::instant("cache.hit");
         crate::end("outer", at(100));
-        crate::worker_chunk(0, "parallel.par_map", at(10), at(40), 0, 50);
+        crate::worker_chunk(0, "parallel.par_map", None, at(10), at(40), 0, 50);
+        crate::worker_chunk(
+            1,
+            "parallel.par_map",
+            Some("outer"),
+            at(50),
+            at(70),
+            50,
+            100,
+        );
         crate::counter_at("heap_bytes", &[("bytes", 4096)], at(50));
         epoch
     }
@@ -198,6 +222,8 @@ mod tests {
         assert!(rendered.contains("\"lo\":0"));
         assert!(rendered.contains("\"hi\":50"));
         assert!(rendered.contains("\"dur\":30"));
+        // The parented chunk carries its owning span path as an arg.
+        assert!(rendered.contains("\"parent\":\"outer\""));
         // The heap sample lands on the named mem lane as a C event.
         assert!(rendered.contains("\"ph\":\"C\""));
         assert!(rendered.contains("\"mem\""));
@@ -232,6 +258,9 @@ mod tests {
         assert_eq!(totals[&format!("{lane};outer")], 60_000);
         assert_eq!(totals[&format!("{lane};outer;inner")], 40_000);
         assert_eq!(totals["worker-0;parallel.par_map"], 30_000);
+        // The chunk dispatched from inside `outer` telescopes under
+        // its owning span's frames on the worker lane.
+        assert_eq!(totals["worker-1;outer;parallel.par_map"], 20_000);
         let outer_total: u64 = totals
             .iter()
             .filter(|(k, _)| k.starts_with(&format!("{lane};outer")))

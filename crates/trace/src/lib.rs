@@ -78,6 +78,11 @@ pub struct Event {
     pub kind: EventKind,
     /// Small integer annotations (chunk index, item range, ...).
     pub args: Vec<(&'static str, u64)>,
+    /// Owning span path for events recorded off their owner's lane —
+    /// worker chunks carry the dispatching stage's path here, so the
+    /// folded-stack exporter can telescope `worker-N` frames under
+    /// `stage.*` instead of leaving them orphaned.
+    pub parent: Option<String>,
 }
 
 /// A copy of one lane: its label and every event recorded so far.
@@ -268,6 +273,7 @@ pub fn begin(name: &str, at: Instant) {
         name: name.to_string(),
         kind: EventKind::Begin,
         args: Vec::new(),
+        parent: None,
     });
 }
 
@@ -282,6 +288,7 @@ pub fn end(name: &str, at: Instant) {
         name: name.to_string(),
         kind: EventKind::End,
         args: Vec::new(),
+        parent: None,
     });
 }
 
@@ -313,6 +320,7 @@ pub fn counter_at(name: &str, series: &[(&'static str, u64)], at: Instant) {
         name: name.to_string(),
         kind: EventKind::Counter,
         args: series.to_vec(),
+        parent: None,
     });
 }
 
@@ -333,12 +341,24 @@ pub fn instant(name: &str) {
         name: name.to_string(),
         kind: EventKind::Instant,
         args: Vec::new(),
+        parent: None,
     });
 }
 
 /// Records one completed worker chunk — `[lo, hi)` of a fan-out, busy
-/// from `start` to `end` — on the `worker-<index>` lane.
-pub fn worker_chunk(worker: usize, name: &str, start: Instant, end: Instant, lo: usize, hi: usize) {
+/// from `start` to `end` — on the `worker-<index>` lane. `parent` is
+/// the dispatching caller's span path (`stage.fig2/fig2.sweep`):
+/// exports nest the chunk under those frames, so flamegraphs
+/// telescope through fan-outs instead of orphaning worker time.
+pub fn worker_chunk(
+    worker: usize,
+    name: &str,
+    parent: Option<&str>,
+    start: Instant,
+    end: Instant,
+    lo: usize,
+    hi: usize,
+) {
     if !enabled() {
         return;
     }
@@ -355,6 +375,7 @@ pub fn worker_chunk(worker: usize, name: &str, start: Instant, end: Instant, lo:
             ("lo", lo as u64),
             ("hi", hi as u64),
         ],
+        parent: parent.map(str::to_string),
     });
 }
 
@@ -427,7 +448,7 @@ mod tests {
         begin("t.span", Instant::now());
         end("t.span", Instant::now());
         instant("t.marker");
-        worker_chunk(0, "t.chunk", Instant::now(), Instant::now(), 0, 8);
+        worker_chunk(0, "t.chunk", None, Instant::now(), Instant::now(), 0, 8);
         assert_eq!(lane_count(), 0);
         assert_eq!(event_count(), 0);
     }
@@ -443,7 +464,7 @@ mod tests {
         instant("t.mark");
         let t1 = Instant::now();
         end("t.outer", t1);
-        worker_chunk(2, "t.chunk", t0, t1, 10, 20);
+        worker_chunk(2, "t.chunk", Some("stage.t/outer"), t0, t1, 10, 20);
         let lanes = snapshot();
         assert_eq!(lanes.len(), 2, "{lanes:?}");
         let own = &lanes[0];
@@ -565,14 +586,14 @@ mod tests {
         leo_obs::set_enabled(true);
         set_enabled(true);
         reset();
-        worker_chunk(0, "t.chunk", Instant::now(), Instant::now(), 0, 4);
+        worker_chunk(0, "t.chunk", None, Instant::now(), Instant::now(), 0, 4);
         instant("t.marker");
         assert!(lane_count() >= 2);
         reset();
         assert_eq!(lane_count(), 0);
         assert_eq!(event_count(), 0);
         // Re-recording after reset registers fresh lanes.
-        worker_chunk(0, "t.chunk", Instant::now(), Instant::now(), 0, 4);
+        worker_chunk(0, "t.chunk", None, Instant::now(), Instant::now(), 0, 4);
         assert_eq!(lane_count(), 1);
         set_enabled(false);
         reset();

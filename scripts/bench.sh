@@ -8,11 +8,14 @@
 # plain, at both thread counts) record the timeline recorder's
 # overhead, a DIVIDE_ALLOC=off leg records the tracking allocator's
 # overhead — gated below 2% (BENCH_ALLOC_GATE_PCT), the budget
-# DESIGN.md §12 promises — and an inert-fault-plan leg records the
+# DESIGN.md §12 promises — an inert-fault-plan leg records the
 # fault-injection sites' overhead, gated below 1%
-# (BENCH_FAULT_GATE_PCT, DESIGN.md §13). The JSON also carries a `host`
-# section (cpu_cores, kernel) so numbers from different boxes are
-# never compared blind.
+# (BENCH_FAULT_GATE_PCT, DESIGN.md §13), and a DIVIDE_OBS on/off leg
+# records the scoped-observability machinery's overhead (span stack,
+# sharded counters, scope propagation through the pool), gated below
+# 2% (BENCH_OBS_GATE_PCT, DESIGN.md §15). The JSON also carries a
+# `host` section (cpu_cores, kernel) so numbers from different boxes
+# are never compared blind.
 #
 # The JSON also records `thread_scaling` — the threads_4/threads_1
 # wall-clock ratios (cold and warm). On hosts with >= 4 cores a ratio
@@ -158,6 +161,34 @@ done
 diff -r --exclude run_manifest.json "$work/warm-1" "$work/fault-on-rep" \
     || { echo "[bench] inert fault plan changed artifact bytes" >&2; exit 1; }
 
+# Scoped-observability overhead: DIVIDE_OBS on vs off, with the
+# tracking allocator disabled on BOTH legs so the measurement isolates
+# the scope machinery (span stack + registry locks, sharded counters,
+# ObsContext propagation through the pool) from the separately-gated
+# allocator cost. Same order-alternating single-threaded warm pairs,
+# but a *paired* estimator — median of per-pair CPU-time deltas —
+# instead of min-vs-min: this host's CPU-time floor is bimodal
+# (co-tenancy phases), and min-vs-min flaps by several percent when
+# only one leg's 10 samples happen to land in the fast phase. The two
+# runs of a pair execute back-to-back inside one phase, so their delta
+# cancels it; the median discards the pairs a phase transition splits
+# (DESIGN.md §15's < 2% budget).
+echo "[bench] divide --scale paper all --threads 1 (warm, DIVIDE_OBS on/off, 10 pairs)"
+obs_leg() { # $1 = on|off, $2 = rep index
+    DIVIDE_ALLOC=off DIVIDE_OBS="$1" ./target/release/divide --scale paper all \
+        --out "$work/obs-$1-rep" --cache "$work/cache-1" --threads 1 -q \
+        --metrics-out "$work/obs-$1-rep$2.json" >/dev/null
+}
+for rep in 1 2 3 4 5 6 7 8 9 10; do
+    if [ $((rep % 2)) -eq 1 ]; then
+        obs_leg on "$rep"; obs_leg off "$rep"
+    else
+        obs_leg off "$rep"; obs_leg on "$rep"
+    fi
+done
+diff -r --exclude run_manifest.json "$work/warm-1" "$work/obs-off-rep" \
+    || { echo "[bench] DIVIDE_OBS=off changed artifact bytes" >&2; exit 1; }
+
 # Per-kernel medians: bench_kernels ends with a machine-readable
 # KERNELS_JSON line (and asserts each rewritten kernel is bit-identical
 # to its scalar baseline — a gate in itself).
@@ -219,6 +250,21 @@ result["alloc_overhead_pct"] = round(100.0 * (on - off) / off, 2)
 fon = min(cost(json.load(open(f"{work}/fault-on-rep{r}.json"))) for r in reps)
 foff = min(cost(json.load(open(f"{work}/fault-off-rep{r}.json"))) for r in reps)
 result["fault_overhead_pct"] = round(100.0 * (fon - foff) / foff, 2)
+# Scoped-observability overhead over the DIVIDE_OBS on/off pairs
+# (both legs ran with DIVIDE_ALLOC=off, so this isolates the scope
+# machinery from the separately-gated allocator cost). Paired
+# estimator — median of per-pair deltas — because the two runs of a
+# pair share the host's performance phase while min-vs-min needs both
+# legs to independently sample the fast phase (see the obs loop).
+obs_deltas = sorted(
+    100.0 * (oon - ooff) / ooff
+    for r in reps
+    for oon in [cost(json.load(open(f"{work}/obs-on-rep{r}.json")))]
+    for ooff in [cost(json.load(open(f"{work}/obs-off-rep{r}.json")))])
+mid = len(obs_deltas) // 2
+obs_median = (obs_deltas[mid] if len(obs_deltas) % 2
+              else (obs_deltas[mid - 1] + obs_deltas[mid]) / 2.0)
+result["obs_scope_overhead_pct"] = round(obs_median, 2)
 # Thread scaling: 4-thread wall over 1-thread wall. < 1.0 means the
 # worker pool is paying off; >= 1.0 is the negative-scaling regression
 # the pool was built to fix (gated below on hosts with enough cores).
@@ -246,6 +292,7 @@ for name, run in result["runs"].items():
           f"peak rss {run['peak_rss_kb']} kB")
 print(f"[bench] allocator overhead (1-thread cpu floor): {result['alloc_overhead_pct']:+.2f}%")
 print(f"[bench] fault-site overhead (1-thread cpu floor): {result['fault_overhead_pct']:+.2f}%")
+print(f"[bench] obs-scope overhead (paired-median 1-thread cpu): {result['obs_scope_overhead_pct']:+.2f}%")
 scaling = result["thread_scaling"]
 print(f"[bench] thread scaling (threads_4 / threads_1): "
       f"cold {scaling['cold']:.2f}x, warm {scaling['warm']:.2f}x")
@@ -288,6 +335,25 @@ if pct >= budget:
     sys.exit(f"[bench] fault-site overhead {pct:+.2f}% >= {budget}% budget "
              "(BENCH_FAULT_SKIP=1 to bypass)")
 print(f"[bench] fault-overhead gate passed: {pct:+.2f}% < {budget}%")
+PY
+fi
+
+# Scoped-observability gate: the handle-based scope machinery's budget
+# is < 2% CPU on the paper-scale pipeline (DESIGN.md §15) — per-stage
+# attribution must stay effectively free. BENCH_OBS_SKIP=1 bypasses on
+# a loaded box.
+if [ "${BENCH_OBS_SKIP:-0}" = "1" ]; then
+    echo "[bench] BENCH_OBS_SKIP=1: obs-scope-overhead gate skipped"
+else
+    python3 - BENCH_tier1.json "${BENCH_OBS_GATE_PCT:-2}" <<'PY'
+import json, sys
+
+pct = json.load(open(sys.argv[1]))["obs_scope_overhead_pct"]
+budget = float(sys.argv[2])
+if pct >= budget:
+    sys.exit(f"[bench] obs-scope overhead {pct:+.2f}% >= {budget}% budget "
+             "(BENCH_OBS_SKIP=1 to bypass)")
+print(f"[bench] obs-scope-overhead gate passed: {pct:+.2f}% < {budget}%")
 PY
 fi
 

@@ -63,11 +63,16 @@ import json, sys
 lines = [l for l in open(sys.argv[1]) if l.strip()]
 assert len(lines) >= 1, "no ledger record appended"
 rec = json.loads(lines[-1])
-assert rec["schema"] == "leo-obs/run-ledger/v1", rec["schema"]
+assert rec["schema"] == "leo-obs/run-ledger/v2", rec["schema"]
 assert rec["command"] == "all" and rec["wall_ms"] > 0, rec
 assert "dataset" in rec["stages"], sorted(rec["stages"])
 assert rec.get("peak_heap_bytes", 0) > 0, rec
-print("[tier1] run appended a valid run-ledger/v1 record")
+# v2 per-stage parallel-efficiency fields: the dataset stage always
+# dispatches (or serially accounts) fan-outs, so its record carries
+# busy_ns/chunks — zero is fine on a serial host, absence is not.
+dataset = rec["stages"]["dataset"]
+assert "busy_ns" in dataset and "chunks" in dataset, dataset
+print("[tier1] run appended a valid run-ledger/v2 record")
 PY
 
 # Every run leaves a verifiable stage checkpoint beside the artifacts
@@ -265,17 +270,48 @@ counters = manifest["metrics"]["counters"]
 assert counters.get("parallel.par_map_calls", 0) >= 1, counters
 assert counters.get("parallel.chunks", 0) >= 4, counters
 assert counters.get("parallel.pool_spawned_threads", 0) >= 3, counters
+# Main lane only: worker-lane chunks now carry their owning stage's
+# span path as parent frames (so flamegraphs telescope), and that busy
+# time is already inside the stage's inclusive main-lane total.
 folded = collections.defaultdict(int)
+worker_parented = 0
 for line in open(f"{traced}/trace.folded"):
     stack, ns = line.rsplit(" ", 1)
-    for frame in set(stack.split(";")[1:]):
+    frames = stack.split(";")
+    if frames[0].startswith("worker-"):
+        if any(f.startswith("stage.") for f in frames[1:]):
+            worker_parented += 1
+        continue
+    if frames[0] != "main":
+        continue
+    for frame in set(frames[1:]):
         folded[frame] += int(ns)
 for span in manifest["spans"]:
     name, total = span["name"], span["total_ns"]
     got = folded.get(name, 0)
     assert abs(got - total) <= max(0.01 * total, 5e4), \
         f"span {name}: manifest {total} ns vs folded {got} ns"
-print(f"[tier1] trace validates: {len(events)} events, {len(lanes)} lanes")
+assert worker_parented >= 1, \
+    "no worker chunk telescoped under a stage.* parent frame"
+
+# Per-stage parallel attribution (DESIGN.md §15): with the probe off
+# every fan-out pools, so the dataset stage carries a parallel section,
+# and the per-stage busy/chunk sums reconcile exactly with the pool's
+# process-wide counters (both sides accumulate the same values).
+stage_par = {s["name"]: s["parallel"] for s in manifest["stages"]
+             if "parallel" in s}
+assert "dataset" in stage_par, sorted(s["name"] for s in manifest["stages"])
+assert stage_par["dataset"]["chunks"] >= 4, stage_par["dataset"]
+for name, par in stage_par.items():
+    assert sum(par["per_worker_busy_ns"]) == par["busy_ns"], (name, par)
+busy_sum = sum(p["busy_ns"] for p in stage_par.values())
+chunk_sum = sum(p["chunks"] for p in stage_par.values())
+assert busy_sum == counters.get("parallel.worker_busy_ns_total", 0), \
+    (busy_sum, counters.get("parallel.worker_busy_ns_total"))
+assert chunk_sum == counters.get("parallel.chunks", 0), \
+    (chunk_sum, counters.get("parallel.chunks"))
+print(f"[tier1] trace validates: {len(events)} events, {len(lanes)} lanes; "
+      f"{len(stage_par)} stages carry reconciled parallel sections")
 PY
 
 echo "[tier1] divide report gates on regressions"
